@@ -1,0 +1,84 @@
+"""[F2] Paper Figure 2 — symmetric parallel data movement and why HUGZ
+is needed.
+
+The figure's program::
+
+    TXT MAH BFF k, UR b R MAH a
+    HUGZ
+    c R SUM OF a AN b
+
+Reproduction: (i) with HUGZ the result is deterministic across seeds and
+runs; (ii) without HUGZ the happens-before race detector reports exactly
+the put-vs-read race the figure warns about ("the program cannot prevent
+fast PEs from calculating the sum before their b value has been
+updated"); (iii) the barriered version is timed.
+"""
+
+import pytest
+
+from repro import run_lolcode
+
+from .conftest import lol, print_table
+
+FIG2 = (
+    "WE HAS A a ITZ SRSLY A NUMBR\n"
+    "WE HAS A b ITZ SRSLY A NUMBR\n"
+    "a R SUM OF ME AN 1\n"
+    "HUGZ\n"
+    "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+    "TXT MAH BFF k, UR b R MAH a\n"
+    "{barrier}"
+    "I HAS A c ITZ SUM OF a AN b\n"
+    "VISIBLE c"
+)
+
+WITH_HUGZ = lol(FIG2.format(barrier="HUGZ\n"))
+WITHOUT_HUGZ = lol(FIG2.format(barrier=""))
+
+
+def test_fig2_with_barrier_deterministic():
+    outs = {run_lolcode(WITH_HUGZ, 4, seed=s).output for s in range(5)}
+    assert len(outs) == 1
+    result = run_lolcode(WITH_HUGZ, 4, seed=0)
+    # PE i: a=i+1, b=((i-1) mod 4)+1
+    assert result.outputs == ["5\n", "3\n", "5\n", "7\n"]
+
+
+def test_fig2_without_barrier_race_detected():
+    result = run_lolcode(WITHOUT_HUGZ, 4, seed=0, race_detection=True)
+    races = [r for r in result.races if r.symbol == "b"]
+    assert races, "expected the Figure 2 put-vs-read race on 'b'"
+    rows = [
+        [r.symbol, f"PE {r.first_pe} {r.first_kind}",
+         f"PE {r.second_pe} {r.second_kind}", r.epoch]
+        for r in races[:4]
+    ]
+    print_table(
+        "Figure 2 without HUGZ: races detected (put vs read on b)",
+        ["symbol", "first access", "second access", "epoch"],
+        rows,
+    )
+
+
+def test_fig2_with_barrier_race_free():
+    result = run_lolcode(WITH_HUGZ, 4, seed=0, race_detection=True)
+    assert result.races == []
+
+
+def test_fig2_barrier_cost_summary():
+    result = run_lolcode(WITH_HUGZ, 4, seed=0, trace=True)
+    summary = result.trace.summary()
+    # 2 HUGZ per PE (plus none hidden): the figure's protocol costs
+    # exactly two collective synchronisations.
+    assert summary["barriers"] == 8
+    assert summary["puts"] == 4
+    print_table(
+        "Figure 2 protocol cost (4 PEs)",
+        ["metric", "value"],
+        [[k, v] for k, v in summary.items()],
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_program_wallclock(benchmark):
+    benchmark(lambda: run_lolcode(WITH_HUGZ, 4, seed=0))

@@ -1,0 +1,66 @@
+"""[E-A] Section VI.A — circular (ring) whole-array transfer.
+
+Each PE copies its ring neighbour's 32-element symmetric array with one
+predicated assignment.  The bench verifies the transfer, scales it over
+PE counts and array sizes, and reports bytes moved per run from the op
+trace (what the paper's figure-less example implies but never measures).
+"""
+
+import pytest
+
+from repro import run_lolcode
+from repro.shmem import OpKind
+
+from .conftest import lol, print_table
+
+
+def ring_source(elems: int) -> str:
+    return lol(
+        "I HAS A pe ITZ A NUMBR AN ITZ ME\n"
+        "I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ\n"
+        f"WE HAS A array ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {elems}\n"
+        "I HAS A next_pe ITZ A NUMBR AN ITZ SUM OF pe AN 1\n"
+        "next_pe R MOD OF next_pe AN n_pes\n"
+        f"IM IN YR l UPPIN YR i TIL BOTH SAEM i AN {elems}\n"
+        "  array'Z i R SUM OF PRODUKT OF pe AN 1000 AN i\n"
+        "IM OUTTA YR l\n"
+        "HUGZ\n"
+        f"I HAS A local ITZ LOTZ A NUMBRS AN THAR IZ {elems}\n"
+        "TXT MAH BFF next_pe, MAH local R UR array\n"
+        "VISIBLE local'Z 0"
+    )
+
+
+def test_ring_correctness_and_traffic():
+    rows = []
+    for n_pes in (2, 4, 8):
+        r = run_lolcode(ring_source(32), n_pes, seed=1, trace=True)
+        # PE i receives slot 0 of PE (i+1): value ((i+1) mod n)*1000.
+        expected = [f"{((i + 1) % n_pes) * 1000}\n" for i in range(n_pes)]
+        assert r.outputs == expected
+        gets = r.trace.total(OpKind.GET)
+        nbytes = r.trace.total_remote_bytes()
+        assert gets == n_pes
+        assert nbytes == n_pes * 32 * 8
+        rows.append([n_pes, gets, nbytes])
+    print_table(
+        "Section VI.A ring transfer (32 NUMBRs per hop)",
+        ["PEs", "remote gets", "bytes moved"],
+        rows,
+    )
+
+
+def test_ring_bytes_scale_with_array_size():
+    sizes = (8, 64, 256)
+    measured = []
+    for elems in sizes:
+        r = run_lolcode(ring_source(elems), 4, seed=1, trace=True)
+        measured.append(r.trace.total_remote_bytes())
+    assert measured == [4 * s * 8 for s in sizes]
+
+
+@pytest.mark.benchmark(group="ring")
+@pytest.mark.parametrize("n_pes", [2, 4, 8])
+def test_ring_wallclock(benchmark, n_pes):
+    src = ring_source(32)
+    benchmark(lambda: run_lolcode(src, n_pes, seed=1))

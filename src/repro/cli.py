@@ -1,0 +1,224 @@
+"""Command-line tools.
+
+* ``lcc`` — the paper's source-to-source compiler: LOLCODE in, C with
+  OpenSHMEM out (``--emit=c``, default, exactly Section VI.E:
+  ``lcc code.lol -o executable.c``) or runnable Python out
+  (``--emit=python``).
+* ``loli`` — serial reference interpreter (the role of ``lci``).
+* ``lolrun`` — SPMD launcher, the ``coprsh`` / ``aprun`` analogue:
+  ``lolrun -np 16 code.lol``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .lang.errors import LolError
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _fail(exc: LolError) -> int:
+    print(exc.render(), file=sys.stderr)
+    return 1
+
+
+def lcc_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lcc",
+        description="LOLCODE source-to-source compiler "
+        "(I Can Has Supercomputer? reproduction)",
+    )
+    parser.add_argument("source", help="input .lol file ('-' for stdin)")
+    parser.add_argument(
+        "-o", "--output", default="-", help="output file (default stdout)"
+    )
+    parser.add_argument(
+        "--emit",
+        choices=("c", "python"),
+        default="c",
+        help="target language (default: c, the paper's backend)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        text = _read(args.source)
+        if args.emit == "c":
+            from .compiler import compile_c
+
+            out = compile_c(text, filename=args.source)
+        else:
+            from .compiler import compile_python
+
+            out = compile_python(text, filename=args.source)
+    except LolError as exc:
+        return _fail(exc)
+    if args.output == "-":
+        sys.stdout.write(out)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(out)
+    return 0
+
+
+def loli_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="loli", description="serial LOLCODE interpreter"
+    )
+    parser.add_argument("source", help="input .lol file ('-' for stdin)")
+    parser.add_argument(
+        "--max-steps", type=int, default=None, help="statement step limit"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    args = parser.parse_args(argv)
+    try:
+        from .launcher import run_lolcode
+
+        result = run_lolcode(
+            _read(args.source),
+            1,
+            executor="serial",
+            filename=args.source,
+            seed=args.seed,
+            max_steps=args.max_steps,
+        )
+    except LolError as exc:
+        return _fail(exc)
+    sys.stdout.write(result.output)
+    return 0
+
+
+def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lolrun",
+        description="SPMD launcher for parallel LOLCODE "
+        "(the coprsh/aprun analogue)",
+    )
+    parser.add_argument("source", help="input .lol file ('-' for stdin)")
+    parser.add_argument(
+        "-np",
+        "--n-pes",
+        type=int,
+        default=4,
+        dest="n_pes",
+        help="number of processing elements (default 4)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="PE executor (process = true parallelism, numeric data only)",
+    )
+    parser.add_argument(
+        "--compiled",
+        action="store_true",
+        help="run through the Python compiler backend instead of the "
+        "interpreter",
+    )
+    parser.add_argument(
+        "--race-check",
+        action="store_true",
+        help="enable the barrier-epoch race detector (thread executor)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print an op-trace summary (puts/gets/barriers/bytes)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        source = _read(args.source)
+        if args.compiled:
+            from .compiler import run_compiled
+
+            result = run_compiled(
+                source,
+                args.n_pes,
+                executor=args.executor,
+                filename=args.source,
+                seed=args.seed,
+                trace=args.trace,
+            )
+        else:
+            from .launcher import run_lolcode
+
+            result = run_lolcode(
+                source,
+                args.n_pes,
+                executor=args.executor,
+                filename=args.source,
+                seed=args.seed,
+                trace=args.trace,
+                race_detection=args.race_check,
+            )
+    except LolError as exc:
+        return _fail(exc)
+    sys.stdout.write(result.output)
+    if args.trace and result.trace is not None:
+        print(f"[trace] {result.trace.summary()}", file=sys.stderr)
+    for report in result.races:
+        print(f"[race] {report.describe()}", file=sys.stderr)
+    return 2 if result.races else 0
+
+
+def lollint_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lollint",
+        description="static checker for parallel LOLCODE (E-codes are "
+        "errors, W-codes heuristic warnings)",
+    )
+    parser.add_argument("sources", nargs="+", help=".lol files ('-' stdin)")
+    parser.add_argument(
+        "--errors-only", action="store_true", help="suppress W-codes"
+    )
+    args = parser.parse_args(argv)
+    from .lang.checker import check_source
+
+    worst = 0
+    for path in args.sources:
+        try:
+            diags = check_source(_read(path), filename=path)
+        except LolError as exc:
+            print(exc.render(), file=sys.stderr)
+            worst = max(worst, 1)
+            continue
+        for diag in diags:
+            if args.errors_only and not diag.is_error:
+                continue
+            print(diag.render())
+            worst = max(worst, 1 if diag.is_error else worst)
+    return worst
+
+
+def lolfmt_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lolfmt", description="canonical LOLCODE formatter"
+    )
+    parser.add_argument("source", help="input .lol file ('-' for stdin)")
+    parser.add_argument(
+        "-i", "--in-place", action="store_true", help="rewrite the file"
+    )
+    args = parser.parse_args(argv)
+    from .lang.formatter import format_source
+
+    try:
+        formatted = format_source(_read(args.source), filename=args.source)
+    except LolError as exc:
+        return _fail(exc)
+    if args.in_place and args.source != "-":
+        with open(args.source, "w", encoding="utf-8") as fh:
+            fh.write(formatted)
+    else:
+        sys.stdout.write(formatted)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(lolrun_main())

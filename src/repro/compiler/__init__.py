@@ -1,0 +1,24 @@
+"""Source-to-source compilers: the reproduction of the paper's ``lcc``.
+
+* :func:`compile_c` — LOLCODE -> C + OpenSHMEM (the paper's target);
+* :func:`compile_python` — LOLCODE -> Python targeting :mod:`repro.shmem`
+  (the runnable compiled path in this reproduction);
+* :func:`run_compiled` — compile-to-Python and launch SPMD;
+* :class:`CompileError` — diagnostics for interpret-only constructs.
+"""
+
+from .c_backend import CBackend, compile_c
+from .py_backend import PyBackend, compile_python, load_pe_main, run_compiled
+from .symtab import CompileError, SymbolTable, analyze
+
+__all__ = [
+    "CBackend",
+    "compile_c",
+    "PyBackend",
+    "compile_python",
+    "load_pe_main",
+    "run_compiled",
+    "CompileError",
+    "SymbolTable",
+    "analyze",
+]

@@ -1,0 +1,888 @@
+"""LOLCODE -> C + OpenSHMEM source-to-source compiler.
+
+This is the reproduction of the paper's ``lcc``: it translates extended
+LOLCODE into a single self-contained C translation unit that targets the
+OpenSHMEM API (Section II: "translates LOLCODE with parallel extensions to
+C with OpenSHMEM routines"; a standard C compiler then produces the
+executable).
+
+Mapping (Tables II/III -> C):
+
+=============================== ==========================================
+LOLCODE                          emitted C
+=============================== ==========================================
+``ME`` / ``MAH FRENZ``           ``shmem_my_pe()`` / ``shmem_n_pes()``
+``HUGZ``                         ``shmem_barrier_all()``
+``WE HAS A x ITZ SRSLY A NUMBR`` file-scope ``static long long x;``
+``... AN IM SHARIN IT``          plus ``static long __lock_x;``
+``TXT MAH BFF k, ...``           scoped ``{ int __tgt = (k); ... }``
+``UR x`` (NUMBAR)                ``shmem_double_g(&x, __tgt)``
+``UR x R v``                     ``shmem_double_p(&x, v, __tgt)``
+``MAH a R UR b`` (arrays)        ``shmem_double_get(a, b, n, __tgt)``
+``IM SRSLY MESIN WIF x``         ``shmem_set_lock(&__lock_x)``
+``IM MESIN WIF x`` (trylock)     ``__it = lol_from_b(!shmem_test_lock(...))``
+``WHATEVR`` / ``WHATEVAR``       ``lol_rand_i()`` / ``lol_rand_f()``
+=============================== ==========================================
+
+Statically typed variables become native C objects; dynamically typed
+variables use the ``lol_value_t`` tagged union from the embedded prelude.
+Top-level declarations are emitted at file scope (each PE is an OS process
+under SHMEM, so file-scope statics are per-PE — this is what makes them
+addressable from LOLCODE functions), with initialisers run at their
+original program point in ``main``.
+
+Backend-specific restrictions, each diagnosed as a
+:class:`~repro.compiler.symtab.CompileError` at compile time:
+
+* ``SRS`` computed identifiers (fundamentally dynamic);
+* YARN-typed *symmetric* data (OpenSHMEM moves raw memory);
+* symmetric array extents must be integer literals (C static arrays);
+* functions may touch their parameters, their locals, and file-scope
+  (top-level / symmetric) data only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang import ast
+from ..lang.errors import SourcePos
+from ..lang.parser import parse
+from ..lang.types import LolType
+from ..interp.interpreter import KNOWN_LIBRARIES
+from .c_prelude import C_PRELUDE
+from .symtab import CompileError, SymbolInfo, SymbolTable, analyze
+
+#: C scalar kind codes: i=long long, f=double, s=const char*, b=int,
+#: d=lol_value_t (dynamic).
+_KIND_OF_TYPE = {
+    LolType.NUMBR: "i",
+    LolType.NUMBAR: "f",
+    LolType.YARN: "s",
+    LolType.TROOF: "b",
+}
+_C_DECL = {
+    "i": "long long",
+    "f": "double",
+    "s": "const char *",
+    "b": "int",
+    "d": "lol_value_t",
+}
+_SHMEM_TYPE = {"i": "longlong", "f": "double", "b": "int"}
+
+_CONV: dict[tuple[str, str], str] = {
+    ("i", "f"): "(double)({0})",
+    ("b", "f"): "((double)({0}))",
+    ("s", "f"): "strtod({0}, NULL)",
+    ("d", "f"): "lol_to_f({0})",
+    ("f", "i"): "(long long)({0})",
+    ("b", "i"): "((long long)({0}))",
+    ("s", "i"): "strtoll({0}, NULL, 10)",
+    ("d", "i"): "lol_to_i({0})",
+    ("i", "b"): "(({0}) != 0)",
+    ("f", "b"): "(({0}) != 0.0)",
+    ("s", "b"): "(({0})[0] != '\\0')",
+    ("d", "b"): "lol_truthy({0})",
+    ("i", "s"): "lol_fmt_i({0})",
+    ("f", "s"): "lol_fmt_f({0})",
+    ("b", "s"): '(({0}) ? "WIN" : "FAIL")',
+    ("d", "s"): "lol_to_s({0})",
+    ("i", "d"): "lol_from_i({0})",
+    ("f", "d"): "lol_from_f({0})",
+    ("b", "d"): "lol_from_b({0})",
+    ("s", "d"): "lol_from_s({0})",
+}
+
+
+def conv(code: str, src: str, dst: str) -> str:
+    if src == dst:
+        return code
+    return _CONV[(src, dst)].format(code)
+
+
+def c_string(text: str) -> str:
+    out = ['"']
+    for ch in text:
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\a":
+            out.append("\\a")
+        elif 32 <= ord(ch) < 127:
+            out.append(ch)
+        else:
+            out.append(f"\\u{ord(ch):04x}" if ord(ch) > 0xFF else f"\\x{ord(ch):02x}")
+    out.append('"')
+    return "".join(out)
+
+
+def c_float(value: float) -> str:
+    text = repr(value)
+    if "e" not in text and "E" not in text and "." not in text:
+        text += ".0"
+    return text
+
+
+class CBackend:
+    def __init__(self, program: ast.Program, table: Optional[SymbolTable] = None):
+        self.program = program
+        self.table = table if table is not None else analyze(program)
+        self.body_lines: list[str] = []
+        self.file_lines: list[str] = []
+        self.indent = 1
+        self._tmp = 0
+        self._txt_depth = 0
+        self._gtfo_ok = 0  # nesting depth of loop/switch
+        self._current_func: Optional[str] = None
+        self._func_locals: dict[str, SymbolInfo] = {}
+        self._emitted_globals: set[str] = set()
+        # Lexical scope stack for block-local declarations and loop
+        # counters (mirrors the C block scoping of the emitted code).
+        self._scopes: list[dict[str, SymbolInfo]] = []
+        self._at_top = False  # True while emitting a top-level statement
+        self._lock_names: list[str] = []
+
+    # -- emit helpers -----------------------------------------------------
+
+    def out(self, line: str) -> None:
+        self.body_lines.append("    " * self.indent + line)
+
+    def _fresh(self, prefix: str) -> str:
+        self._tmp += 1
+        return f"__{prefix}{self._tmp}"
+
+    # -- symbol classification ----------------------------------------------
+
+    def _info(self, name: str, pos: SourcePos) -> SymbolInfo:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        if self._current_func is not None:
+            finfo = self.table.functions[self._current_func]
+            if name in finfo.locals:
+                return finfo.locals[name]
+            if name in finfo.params:
+                return SymbolInfo(name)  # dynamic parameter
+        info = self.table.globals.get(name)
+        if info is not None:
+            return info
+        raise CompileError(
+            f"'{name}' is not declared"
+            + (
+                f" (C backend functions may only touch parameters, locals, "
+                f"and top-level/symmetric variables)"
+                if self._current_func is not None
+                else ""
+            ),
+            pos,
+        )
+
+    def _declare_local(self, info: SymbolInfo) -> None:
+        if self._scopes:
+            self._scopes[-1][info.name] = info
+        elif self._current_func is not None:
+            self._func_locals[info.name] = info
+
+    def _kind_of(self, info: SymbolInfo) -> str:
+        if info.static_type is None:
+            return "d"
+        return _KIND_OF_TYPE[info.static_type]
+
+    # -- expressions -----------------------------------------------------------
+
+    def gen_expr(self, node: ast.Expr) -> tuple[str, str]:
+        """Return (C expression, kind code)."""
+        if isinstance(node, ast.IntLit):
+            return f"{node.value}LL", "i"
+        if isinstance(node, ast.FloatLit):
+            return c_float(node.value), "f"
+        if isinstance(node, ast.StringLit):
+            return self._gen_string(node)
+        if isinstance(node, ast.TroofLit):
+            return ("1", "b") if node.value else ("0", "b")
+        if isinstance(node, ast.NoobLit):
+            return "lol_noob()", "d"
+        if isinstance(node, ast.ItRef):
+            return "__it", "d"
+        if isinstance(node, ast.MeExpr):
+            return "((long long)shmem_my_pe())", "i"
+        if isinstance(node, ast.FrenzExpr):
+            return "((long long)shmem_n_pes())", "i"
+        if isinstance(node, ast.RandomExpr):
+            return (
+                ("lol_rand_i()", "i")
+                if node.kind == "int"
+                else ("lol_rand_f()", "f")
+            )
+        if isinstance(node, ast.BinOp):
+            return self._gen_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._gen_unop(node)
+        if isinstance(node, ast.NaryOp):
+            return self._gen_nary(node)
+        if isinstance(node, ast.Cast):
+            return self._gen_cast(node)
+        if isinstance(node, ast.VarRef):
+            return self._gen_var_read(node.name, node.qualifier, node.pos)
+        if isinstance(node, ast.Index):
+            return self._gen_index_read(node)
+        if isinstance(node, ast.FuncCall):
+            return self._gen_call(node)
+        if isinstance(node, ast.SrsRef):
+            raise CompileError(
+                "SRS computed identifiers are interpret-only", node.pos
+            )
+        raise CompileError(
+            f"cannot compile expression {type(node).__name__}", node.pos
+        )
+
+    def _gen_string(self, node: ast.StringLit) -> tuple[str, str]:
+        if node.is_plain():
+            return c_string(node.plain_text()), "s"
+        code: Optional[str] = None
+        for part in node.parts:
+            piece = (
+                c_string(part)
+                if isinstance(part, str)
+                else conv(*self._gen_var_read(part[1], None, node.pos), "s")
+            )
+            code = piece if code is None else f"lol_concat({code}, {piece})"
+        return code or '""', "s"
+
+    def _arith_char(self, op: str) -> str:
+        return {
+            "add": "+", "sub": "-", "mul": "*", "div": "/", "mod": "%",
+            "max": ">", "min": "<",
+        }[op]
+
+    def _gen_binop(self, node: ast.BinOp) -> tuple[str, str]:
+        op = node.op
+        ca, ta = self.gen_expr(node.lhs)
+        cb, tb = self.gen_expr(node.rhs)
+        if op in ("add", "sub", "mul", "div", "mod", "max", "min"):
+            if ta in ("s", "d") or tb in ("s", "d"):
+                return (
+                    f"lol_arith('{self._arith_char(op)}', "
+                    f"{conv(ca, ta, 'd')}, {conv(cb, tb, 'd')})",
+                    "d",
+                )
+            kind = "f" if "f" in (ta, tb) else "i"
+            xa, xb = conv(ca, ta, kind), conv(cb, tb, kind)
+            if op in ("add", "sub", "mul"):
+                sym = {"add": "+", "sub": "-", "mul": "*"}[op]
+                return f"({xa} {sym} {xb})", kind
+            if op == "div":
+                return f"({xa} / {xb})", kind
+            if op == "mod":
+                return (
+                    (f"fmod({xa}, {xb})", "f")
+                    if kind == "f"
+                    else (f"lol_trunc_mod({xa}, {xb})", "i")
+                )
+            fn = f"lol_{'max' if op == 'max' else 'min'}_{kind}"
+            return f"{fn}({xa}, {xb})", kind
+        if op in ("eq", "ne"):
+            bang = "!" if op == "ne" else ""
+            if ta in ("i", "f", "b") and tb in ("i", "f", "b"):
+                return f"({bang}({conv(ca, ta, 'f')} == {conv(cb, tb, 'f')}))", "b"
+            if ta == "s" and tb == "s":
+                return f"({bang}(strcmp({ca}, {cb}) == 0))", "b"
+            return (
+                f"({bang}lol_eq({conv(ca, ta, 'd')}, {conv(cb, tb, 'd')}))",
+                "b",
+            )
+        if op in ("gt", "lt"):
+            sym = ">" if op == "gt" else "<"
+            return f"({conv(ca, ta, 'f')} {sym} {conv(cb, tb, 'f')})", "b"
+        if op in ("and", "or", "xor"):
+            xa, xb = conv(ca, ta, "b"), conv(cb, tb, "b")
+            if op == "and":
+                return f"({xa} && {xb})", "b"
+            if op == "or":
+                return f"({xa} || {xb})", "b"
+            return f"((!!{xa}) != (!!{xb}))", "b"
+        raise CompileError(f"unknown binary op {op!r}", node.pos)
+
+    def _gen_unop(self, node: ast.UnaryOp) -> tuple[str, str]:
+        code, kind = self.gen_expr(node.operand)
+        if node.op == "not":
+            return f"(!{conv(code, kind, 'b')})", "b"
+        if node.op == "square":
+            if kind == "i" or kind == "b":
+                return f"lol_squar_i({conv(code, kind, 'i')})", "i"
+            return f"lol_squar_f({conv(code, kind, 'f')})", "f"
+        if node.op == "sqrt":
+            return f"sqrt({conv(code, kind, 'f')})", "f"
+        if node.op == "recip":
+            return f"(1.0 / {conv(code, kind, 'f')})", "f"
+        raise CompileError(f"unknown unary op {node.op!r}", node.pos)
+
+    def _gen_nary(self, node: ast.NaryOp) -> tuple[str, str]:
+        parts = [self.gen_expr(e) for e in node.operands]
+        if node.op in ("all", "any"):
+            joiner = " && " if node.op == "all" else " || "
+            return (
+                "(" + joiner.join(conv(c, k, "b") for c, k in parts) + ")",
+                "b",
+            )
+        # SMOOSH
+        code: Optional[str] = None
+        for c, k in parts:
+            piece = conv(c, k, "s")
+            code = piece if code is None else f"lol_concat({code}, {piece})"
+        return code or '""', "s"
+
+    def _gen_cast(self, node: ast.Cast) -> tuple[str, str]:
+        code, kind = self.gen_expr(node.expr)
+        target = LolType(node.to_type)
+        if target is LolType.NOOB:
+            return "lol_noob()", "d"
+        return conv(code, kind, _KIND_OF_TYPE[target]), _KIND_OF_TYPE[target]
+
+    def _gen_call(self, node: ast.FuncCall) -> tuple[str, str]:
+        finfo = self.table.functions.get(node.name)
+        if finfo is None:
+            raise CompileError(f"no function named '{node.name}'", node.pos)
+        if len(node.args) != len(finfo.params):
+            raise CompileError(
+                f"function '{node.name}' wants {len(finfo.params)} "
+                f"arguments, got {len(node.args)}",
+                node.pos,
+            )
+        args = ", ".join(
+            conv(*self.gen_expr(a), "d") for a in node.args
+        )
+        return f"lol_fn_{node.name}({args})", "d"
+
+    # -- variable access -----------------------------------------------------------
+
+    def _require_tgt(self, name: str, pos: SourcePos) -> None:
+        if self._txt_depth == 0:
+            raise CompileError(
+                f"'UR {name}' used outside a TXT MAH BFF predicated "
+                f"statement or block",
+                pos,
+            )
+
+    def _shmem_kind(self, info: SymbolInfo, pos: SourcePos) -> str:
+        kind = self._kind_of(info)
+        if kind not in _SHMEM_TYPE:
+            raise CompileError(
+                f"symmetric symbol '{info.name}' must be numeric for the C "
+                f"backend (YARN cannot cross PEs via OpenSHMEM)",
+                pos,
+            )
+        return kind
+
+    def _gen_var_read(
+        self, name: str, qualifier: Optional[str], pos: SourcePos
+    ) -> tuple[str, str]:
+        info = self._info(name, pos)
+        if qualifier == "UR":
+            self._require_tgt(name, pos)
+            if not info.symmetric:
+                raise CompileError(
+                    f"'UR {name}': not a symmetric variable", pos
+                )
+            kind = self._shmem_kind(info, pos)
+            if info.is_array:
+                raise CompileError(
+                    f"whole-array 'UR {name}' is only valid on the right "
+                    f"side of an array assignment",
+                    pos,
+                )
+            return f"shmem_{_SHMEM_TYPE[kind]}_g(&{name}, __tgt)", kind
+        if info.is_array:
+            raise CompileError(
+                f"'{name}' is an array: index it with {name}'Z <expr>", pos
+            )
+        return name, self._kind_of(info)
+
+    def _gen_index_read(self, node: ast.Index) -> tuple[str, str]:
+        if not isinstance(node.base, ast.VarRef):
+            raise CompileError(
+                "SRS computed identifiers are interpret-only", node.pos
+            )
+        name = node.base.name
+        info = self._info(name, node.pos)
+        if not info.is_array:
+            raise CompileError(f"'{name}' is not an array", node.pos)
+        idx = conv(*self.gen_expr(node.index), "i")
+        kind = self._kind_of(info)
+        if node.base.qualifier == "UR":
+            self._require_tgt(name, node.pos)
+            kind = self._shmem_kind(info, node.pos)
+            return f"shmem_{_SHMEM_TYPE[kind]}_g(&{name}[{idx}], __tgt)", kind
+        return f"{name}[{idx}]", kind
+
+    # -- statements ---------------------------------------------------------------
+
+    def gen_block(self, body: list[ast.Stmt]) -> None:
+        saved_top = self._at_top
+        self._at_top = False
+        self._scopes.append({})
+        try:
+            for stmt in body:
+                self.gen_stmt(stmt)
+        finally:
+            self._scopes.pop()
+            self._at_top = saved_top
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self._gen_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.CastStmt):
+            self._gen_cast_stmt(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            code, kind = self.gen_expr(stmt.expr)
+            self.out(f"__it = {conv(code, kind, 'd')};")
+        elif isinstance(stmt, ast.Visible):
+            for arg in stmt.args:
+                code, kind = self.gen_expr(arg)
+                self.out(f"fputs({conv(code, kind, 's')}, stdout);")
+            if stmt.newline:
+                self.out('fputs("\\n", stdout);')
+        elif isinstance(stmt, ast.Gimmeh):
+            self._gen_store(stmt.target, "lol_readline()", "s")
+        elif isinstance(stmt, ast.CanHas):
+            if stmt.library.upper() not in KNOWN_LIBRARIES:
+                raise CompileError(
+                    f"CAN HAS {stmt.library}?: unknown library", stmt.pos
+                )
+            self.out(f"/* CAN HAS {stmt.library}? */")
+        elif isinstance(stmt, ast.If):
+            self.out("if (lol_truthy(__it)) {")
+            self.indent += 1
+            self.gen_block(stmt.ya_rly)
+            self.indent -= 1
+            for cond, body in stmt.mebbe:
+                code, kind = self.gen_expr(cond)
+                self.out(f"}} else if ({conv(code, kind, 'b')}) {{")
+                self.indent += 1
+                self.gen_block(body)
+                self.indent -= 1
+            self.out("} else {")
+            self.indent += 1
+            self.gen_block(stmt.no_wai)
+            self.indent -= 1
+            self.out("}")
+        elif isinstance(stmt, ast.Switch):
+            self._gen_switch(stmt)
+        elif isinstance(stmt, ast.Loop):
+            self._gen_loop(stmt)
+        elif isinstance(stmt, ast.Gtfo):
+            if self._gtfo_ok > 0:
+                self.out("break;")
+            elif self._current_func is not None:
+                self.out("return lol_noob();")
+            else:
+                raise CompileError(
+                    "GTFO outside a loop, switch, or function", stmt.pos
+                )
+        elif isinstance(stmt, ast.FuncDef):
+            pass  # emitted at file scope in generate()
+        elif isinstance(stmt, ast.Return):
+            if self._current_func is None:
+                raise CompileError("FOUND YR outside a function", stmt.pos)
+            code, kind = self.gen_expr(stmt.expr)
+            self.out(f"return {conv(code, kind, 'd')};")
+        elif isinstance(stmt, ast.Hugz):
+            self.out("shmem_barrier_all();")
+        elif isinstance(stmt, ast.LockStmt):
+            self._gen_lock(stmt)
+        elif isinstance(stmt, ast.TxtStmt):
+            code, kind = self.gen_expr(stmt.pe)
+            self.out(f"{{ int __tgt = (int)({conv(code, kind, 'i')});")
+            self.indent += 1
+            self._txt_depth += 1
+            self.gen_block(stmt.body)
+            self._txt_depth -= 1
+            self.indent -= 1
+            self.out("}")
+        else:
+            raise CompileError(
+                f"cannot compile statement {type(stmt).__name__}", stmt.pos
+            )
+
+    # -- declarations ----------------------------------------------------------
+
+    def _const_size(self, expr: ast.Expr, name: str) -> Optional[int]:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        return None
+
+    def _decl_c(self, info: SymbolInfo, size_code: Optional[str]) -> str:
+        kind = self._kind_of(info)
+        base = _C_DECL[kind]
+        if info.is_array:
+            return f"{base} {info.name}[{size_code}]"
+        return f"{base} {info.name}"
+
+    def emit_file_scope_decl(self, decl: ast.VarDecl) -> None:
+        info = (
+            self.table.globals[decl.name]
+            if decl.name in self.table.globals
+            else None
+        )
+        assert info is not None
+        size_code: Optional[str] = None
+        if info.is_array:
+            size = self._const_size(decl.size, decl.name)
+            if size is None:
+                raise CompileError(
+                    f"file-scope array '{decl.name}' needs a literal size "
+                    f"for the C backend",
+                    decl.pos,
+                )
+            size_code = str(size)
+        qual = "static "
+        comment = " /* symmetric */" if info.symmetric else ""
+        self.file_lines.append(
+            f"{qual}{self._decl_c(info, size_code)};{comment}"
+        )
+        if info.shared_lock:
+            # The (void) cast in main keeps -Wunused-variable quiet when a
+            # program declares IM SHARIN IT but never takes the lock.
+            self.file_lines.append(f"static long __lock_{info.name} = 0L;")
+            self._lock_names.append(info.name)
+        self._emitted_globals.add(info.name)
+
+    def _gen_decl(self, stmt: ast.VarDecl) -> None:
+        # File-scope (top-level) declarations were already emitted; here we
+        # only run their initialiser at the original program point.
+        if self._at_top and stmt.name in self._emitted_globals:
+            info = self.table.globals[stmt.name]
+            if stmt.init is not None:
+                code, kind = self.gen_expr(stmt.init)
+                self.out(f"{stmt.name} = {conv(code, kind, self._kind_of(info))};")
+            elif self._kind_of(info) == "d":
+                self.out(f"{stmt.name} = lol_noob();")
+            elif self._kind_of(info) == "s" and not info.is_array:
+                self.out(f'{stmt.name} = "";')
+            return
+        # Block-local declaration.
+        info = SymbolInfo(
+            name=stmt.name,
+            static_type=(LolType(stmt.static_type) if stmt.static_type else None),
+            is_array=stmt.is_array,
+        )
+        self._declare_local(info)
+        kind = self._kind_of(info)
+        if stmt.is_array:
+            size_lit = self._const_size(stmt.size, stmt.name)
+            if size_lit is not None:
+                self.out(f"{self._decl_c(info, str(size_lit))} = {{0}};")
+            else:
+                size_code = conv(*self.gen_expr(stmt.size), "i")
+                n = self._fresh("n")
+                self.out(f"long long {n} = {size_code};")
+                self.out(f"{self._decl_c(info, n)};")
+                self.out(
+                    f"memset({stmt.name}, 0, sizeof {stmt.name});"
+                    if kind != "s"
+                    else f"for (long long __z = 0; __z < {n}; __z++) "
+                    f'{stmt.name}[__z] = "";'
+                )
+            return
+        if stmt.init is not None:
+            code, k = self.gen_expr(stmt.init)
+            if kind == "d":
+                code = conv(code, k, "d")
+            else:
+                code = conv(code, k, kind)
+            self.out(f"{self._decl_c(info, None)} = {code};")
+        elif kind == "d":
+            self.out(f"{self._decl_c(info, None)} = lol_noob();")
+        elif kind == "s":
+            self.out(f'{self._decl_c(info, None)} = "";')
+        else:
+            self.out(f"{self._decl_c(info, None)} = 0;")
+
+    # -- assignment --------------------------------------------------------------
+
+    def _gen_assign(self, target: ast.Expr, value: ast.Expr) -> None:
+        # Whole-array transfers first (they need the shmem_get/put forms).
+        if isinstance(target, ast.VarRef) and not isinstance(value, ast.Index):
+            tinfo = self._info(target.name, target.pos)
+            if tinfo.is_array:
+                self._gen_array_copy(target, tinfo, value)
+                return
+        code, kind = self.gen_expr(value)
+        self._gen_store(target, code, kind)
+
+    def _gen_array_copy(
+        self, target: ast.VarRef, tinfo: SymbolInfo, value: ast.Expr
+    ) -> None:
+        if not isinstance(value, ast.VarRef):
+            raise CompileError(
+                f"whole-array assignment to '{target.name}' needs an array "
+                f"on the right-hand side",
+                target.pos,
+            )
+        sinfo = self._info(value.name, value.pos)
+        if not sinfo.is_array:
+            raise CompileError(
+                f"cannot assign scalar '{value.name}' to whole array "
+                f"'{target.name}'",
+                target.pos,
+            )
+        count = f"(sizeof {target.name} / sizeof {target.name}[0])"
+        if value.qualifier == "UR":
+            self._require_tgt(value.name, value.pos)
+            kind = self._shmem_kind(sinfo, value.pos)
+            self.out(
+                f"shmem_{_SHMEM_TYPE[kind]}_get({target.name}, "
+                f"{value.name}, {count}, __tgt);"
+            )
+            return
+        if target.qualifier == "UR":
+            self._require_tgt(target.name, target.pos)
+            kind = self._shmem_kind(tinfo, target.pos)
+            self.out(
+                f"shmem_{_SHMEM_TYPE[kind]}_put({target.name}, "
+                f"{value.name}, {count}, __tgt);"
+            )
+            return
+        self.out(
+            f"memcpy({target.name}, {value.name}, sizeof {target.name});"
+        )
+
+    def _gen_store(self, target: ast.Expr, code: str, kind: str) -> None:
+        if isinstance(target, ast.Index):
+            if not isinstance(target.base, ast.VarRef):
+                raise CompileError(
+                    "SRS computed identifiers are interpret-only", target.pos
+                )
+            name = target.base.name
+            info = self._info(name, target.pos)
+            if not info.is_array:
+                raise CompileError(f"'{name}' is not an array", target.pos)
+            idx = conv(*self.gen_expr(target.index), "i")
+            ekind = self._kind_of(info)
+            if target.base.qualifier == "UR":
+                self._require_tgt(name, target.pos)
+                ekind = self._shmem_kind(info, target.pos)
+                self.out(
+                    f"shmem_{_SHMEM_TYPE[ekind]}_p(&{name}[{idx}], "
+                    f"{conv(code, kind, ekind)}, __tgt);"
+                )
+                return
+            self.out(f"{name}[{idx}] = {conv(code, kind, ekind)};")
+            return
+        if isinstance(target, ast.VarRef):
+            name = target.name
+            info = self._info(name, target.pos)
+            vkind = self._kind_of(info)
+            if target.qualifier == "UR":
+                self._require_tgt(name, target.pos)
+                if not info.symmetric:
+                    raise CompileError(
+                        f"'UR {name}': not a symmetric variable", target.pos
+                    )
+                vkind = self._shmem_kind(info, target.pos)
+                self.out(
+                    f"shmem_{_SHMEM_TYPE[vkind]}_p(&{name}, "
+                    f"{conv(code, kind, vkind)}, __tgt);"
+                )
+                return
+            if info.is_array:
+                raise CompileError(
+                    f"cannot assign a scalar to whole array '{name}'",
+                    target.pos,
+                )
+            self.out(f"{name} = {conv(code, kind, vkind)};")
+            return
+        raise CompileError("invalid assignment target", target.pos)
+
+    def _gen_cast_stmt(self, stmt: ast.CastStmt) -> None:
+        code, kind = self.gen_expr(stmt.target)
+        target_type = LolType(stmt.to_type)
+        if target_type is LolType.NOOB:
+            self._gen_store(stmt.target, "lol_noob()", "d")
+            return
+        tkind = _KIND_OF_TYPE[target_type]
+        self._gen_store(stmt.target, conv(code, kind, tkind), tkind)
+
+    # -- control flow ------------------------------------------------------------
+
+    def _gen_switch(self, stmt: ast.Switch) -> None:
+        sw = self._fresh("sw")
+        m = self._fresh("m")
+        self.out(f"{{ lol_value_t {sw} = __it; int {m} = 0;")
+        self.indent += 1
+        self.out("while (1) {")
+        self.indent += 1
+        self._gtfo_ok += 1
+        for literal, body in stmt.cases:
+            code, kind = self.gen_expr(literal)
+            self.out(f"if ({m} || lol_eq({sw}, {conv(code, kind, 'd')})) {{")
+            self.indent += 1
+            self.out(f"{m} = 1;")
+            self.gen_block(body)
+            self.indent -= 1
+            self.out("}")
+        self.gen_block(stmt.default)
+        self.out("break;")
+        self._gtfo_ok -= 1
+        self.indent -= 1
+        self.out("}")
+        self.indent -= 1
+        self.out("}")
+
+    def _gen_loop(self, stmt: ast.Loop) -> None:
+        opener = "{"
+        self._scopes.append({})
+        if stmt.var is not None:
+            opener = f"{{ long long {stmt.var} = 0;"
+            self._scopes[-1][stmt.var] = SymbolInfo(
+                stmt.var, static_type=LolType.NUMBR
+            )
+        self.out(opener)
+        self.indent += 1
+        self.out("while (1) {")
+        self.indent += 1
+        self._gtfo_ok += 1
+        if stmt.cond is not None:
+            code, kind = self.gen_expr(stmt.cond)
+            cond = conv(code, kind, "b")
+            if stmt.cond_kind == "TIL":
+                self.out(f"if ({cond}) break;")
+            else:
+                self.out(f"if (!{cond}) break;")
+        elif stmt.var is None and not any(
+            isinstance(s, ast.Gtfo) for s in ast.walk_statements(stmt.body)
+        ):
+            raise CompileError(
+                f"loop '{stmt.label}' has no counter, no condition and no "
+                f"GTFO",
+                stmt.pos,
+            )
+        self.gen_block(stmt.body)
+        if stmt.var is not None:
+            step = "+ 1" if stmt.op == "UPPIN" else "- 1"
+            self.out(f"{stmt.var} = {stmt.var} {step};")
+        self._gtfo_ok -= 1
+        self.indent -= 1
+        self.out("}")
+        self.indent -= 1
+        self.out("}")
+        self._scopes.pop()
+
+    def _gen_lock(self, stmt: ast.LockStmt) -> None:
+        if not isinstance(stmt.target, ast.VarRef):
+            raise CompileError(
+                "SRS computed identifiers are interpret-only", stmt.pos
+            )
+        name = stmt.target.name
+        info = self.table.globals.get(name)
+        if info is None or not info.symmetric or not info.shared_lock:
+            raise CompileError(
+                f"cannot lock '{name}': declare it with 'WE HAS A {name} "
+                f"... AN IM SHARIN IT'",
+                stmt.pos,
+            )
+        if stmt.kind == "lock":
+            self.out(f"shmem_set_lock(&__lock_{name});")
+        elif stmt.kind == "trylock":
+            self.out(
+                f"__it = lol_from_b(shmem_test_lock(&__lock_{name}) == 0);"
+            )
+        else:
+            self.out(f"shmem_clear_lock(&__lock_{name});")
+
+    # -- functions / program -----------------------------------------------------
+
+    def _gen_function(self, fdef: ast.FuncDef) -> list[str]:
+        finfo = self.table.functions[fdef.name]
+        saved_body, self.body_lines = self.body_lines, []
+        saved_indent, self.indent = self.indent, 1
+        saved_locals, self._func_locals = self._func_locals, dict(finfo.locals)
+        saved_scopes, self._scopes = self._scopes, []
+        self._current_func = fdef.name
+        params = ", ".join(f"lol_value_t {p}" for p in fdef.params) or "void"
+        lines = [f"static lol_value_t lol_fn_{fdef.name}({params})", "{"]
+        self.out("lol_value_t __it = lol_noob();")
+        self.gen_block(fdef.body)
+        self.out("return __it;")
+        lines.extend(self.body_lines)
+        lines.append("}")
+        self.body_lines = saved_body
+        self.indent = saved_indent
+        self._func_locals = saved_locals
+        self._scopes = saved_scopes
+        self._current_func = None
+        return lines
+
+    def generate(self) -> str:
+        # 1. file-scope data for every top-level declaration
+        for stmt in self.program.body:
+            if isinstance(stmt, ast.VarDecl):
+                self.emit_file_scope_decl(stmt)
+        # 2. functions (prototypes handled by definition order: emit all
+        #    definitions before main; forward calls between functions get
+        #    prototypes)
+        func_blocks: list[list[str]] = []
+        protos: list[str] = []
+        for stmt in self.program.body:
+            if isinstance(stmt, ast.FuncDef):
+                finfo = self.table.functions[stmt.name]
+                params = ", ".join("lol_value_t" for _ in finfo.params) or "void"
+                protos.append(f"static lol_value_t lol_fn_{stmt.name}({params});")
+                func_blocks.append(self._gen_function(stmt))
+        # 3. main body
+        self.body_lines = []
+        self.indent = 1
+        self.out("shmem_init();")
+        if self.table.uses_random:
+            self.out("srand(1234u + (unsigned)shmem_my_pe());")
+        self.out("lol_value_t __it = lol_noob();")
+        # Reference every file-scope object once so -Wunused-variable stays
+        # quiet for symbols a program declares but never touches.
+        for gname in sorted(self._emitted_globals):
+            self.out(f"(void){gname};")
+        for lock_name in self._lock_names:
+            self.out(f"(void)__lock_{lock_name};")
+        self._scopes = [{}]
+        self._at_top = True
+        for stmt in self.program.body:
+            if not isinstance(stmt, ast.FuncDef):
+                self.gen_stmt(stmt)
+        self._at_top = False
+        self._scopes = []
+        self.out("(void)__it;")
+        self.out("shmem_finalize();")
+        self.out("return 0;")
+
+        parts: list[str] = [C_PRELUDE]
+        if self.file_lines:
+            parts.append("/* -- symmetric & top-level program data -- */")
+            parts.extend(self.file_lines)
+            parts.append("")
+        if protos:
+            parts.extend(protos)
+            parts.append("")
+        for block in func_blocks:
+            parts.extend(block)
+            parts.append("")
+        parts.append("int main(void)")
+        parts.append("{")
+        parts.extend(self.body_lines)
+        parts.append("}")
+        return "\n".join(parts) + "\n"
+
+
+def compile_c(source_or_program, filename: str = "<string>") -> str:
+    """Compile LOLCODE source to a C + OpenSHMEM translation unit."""
+    program = (
+        source_or_program
+        if isinstance(source_or_program, ast.Program)
+        else parse(source_or_program, filename)
+    )
+    return CBackend(program).generate()

@@ -1,0 +1,117 @@
+"""Runtime support library for Python code emitted by the compiler.
+
+The generated module imports these helpers under short underscore names.
+They delegate to the same :mod:`repro.interp.values` operator semantics the
+interpreter uses, which is what makes interpreter-vs-compiled differential
+testing meaningful: any divergence is a codegen bug, not a semantics fork.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..lang.errors import LolParallelError, LolRuntimeError, LolTypeError
+from ..lang.types import (
+    LolType,
+    cast as _cast_impl,
+    coerce_static,
+    default_value,
+    format_yarn,
+    to_numbr,
+    to_troof,
+)
+from ..interp.values import binop, equals, naryop, unop
+from ..shmem.heap import ArrayCell
+
+TYPES = {t.value: t for t in LolType}
+
+# Re-exported operator kernels (names the generated code uses).
+_binop = binop
+_unop = unop
+_nary = naryop
+_eq = equals
+_troof = to_troof
+_numbr = to_numbr
+_yarn = format_yarn
+
+
+def _cast(value: object, type_name: str) -> object:
+    return _cast_impl(value, TYPES[type_name])
+
+
+def _coerce(value: object, type_name: str, var_name: str) -> object:
+    return coerce_static(value, TYPES[type_name], var_name)
+
+
+def _default(type_name: str) -> object:
+    return default_value(TYPES[type_name])
+
+
+def _mkarray(type_name: str, size: object) -> ArrayCell:
+    n = to_numbr(size)
+    if n <= 0:
+        raise LolRuntimeError(f"array must have positive size, got {n}")
+    return ArrayCell(TYPES[type_name], n)
+
+
+def _elem(value: object, type_name: Optional[str]) -> object:
+    if type_name is None:
+        return value
+    return coerce_static(value, TYPES[type_name], "<element>")
+
+
+def _write_all(cell: ArrayCell, value: object, name: str) -> None:
+    if not isinstance(value, (list, np.ndarray)):
+        raise LolTypeError(
+            f"cannot assign a scalar to whole array '{name}'"
+        )
+    if len(value) != len(cell):
+        raise LolRuntimeError(
+            f"array length mismatch assigning to '{name}': "
+            f"{len(value)} vs {len(cell)}"
+        )
+    cell.write_all(value)
+
+
+def _chkpe(pe_value: object, ctx) -> int:
+    pe = to_numbr(pe_value)
+    if not 0 <= pe < ctx.n_pes:
+        raise LolParallelError(
+            f"TXT MAH BFF {pe}: PE out of range [0, {ctx.n_pes})"
+        )
+    return pe
+
+
+def _require_tgt(tgt: Optional[int], name: str) -> int:
+    if tgt is None:
+        raise LolParallelError(
+            f"'UR {name}' used outside a TXT MAH BFF predicated statement "
+            f"or block"
+        )
+    return tgt
+
+
+def _display(value: object) -> str:
+    if isinstance(value, (list, np.ndarray)):
+        return " ".join(format_yarn(_py_scalar(v)) for v in value)
+    return format_yarn(_py_scalar(value))
+
+
+def _py_scalar(v: object) -> object:
+    if isinstance(v, np.integer):
+        return int(v)
+    if isinstance(v, np.floating):
+        return float(v)
+    if isinstance(v, np.bool_):
+        return bool(v)
+    return v
+
+
+def _rand_int(ctx) -> int:
+    return ctx.rng.randrange(0, 2**31 - 1)
+
+
+def _rand_float(ctx) -> float:
+    return ctx.rng.random()

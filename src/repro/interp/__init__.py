@@ -1,0 +1,19 @@
+"""Tree-walking SPMD interpreter for extended LOLCODE."""
+
+from .env import Binding, Env
+from .interpreter import KNOWN_LIBRARIES, Interpreter, interpret, run_serial
+from .values import FLOP_COST, binop, equals, naryop, unop
+
+__all__ = [
+    "Binding",
+    "Env",
+    "KNOWN_LIBRARIES",
+    "Interpreter",
+    "interpret",
+    "run_serial",
+    "FLOP_COST",
+    "binop",
+    "equals",
+    "naryop",
+    "unop",
+]

@@ -1,0 +1,68 @@
+"""Lexical environments for the interpreter.
+
+LOLCODE requires declaration (``I HAS A``) before use; assignment to an
+undeclared name is an error.  Scoping is a simple chain:
+
+* one global scope per PE;
+* one scope per function call (parameters live there; the enclosing global
+  scope remains readable/writable when not shadowed);
+* one scope per loop (the ``UPPIN YR i`` counter is loop-local, per the
+  1.2 spec — the paper's n-body reuses ``i``/``j``/``k`` freely this way).
+
+A binding is a :class:`Binding` carrying the value plus the static-type
+metadata introduced by the paper's ``ITZ SRSLY A <type>`` extension, and a
+marker for symmetric (``WE HAS A``) variables whose storage actually lives
+in the symmetric heap rather than in the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.errors import LolNameError, SourcePos
+from ..lang.types import LolType
+
+
+@dataclass(slots=True)
+class Binding:
+    value: object = None
+    static_type: Optional[LolType] = None  # None => dynamically typed
+    is_array: bool = False
+    symmetric: bool = False  # storage lives in the symmetric heap
+
+
+class Env:
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Env"] = None) -> None:
+        self.vars: dict[str, Binding] = {}
+        self.parent = parent
+
+    def declare(self, name: str, binding: Binding, pos: SourcePos | None = None) -> None:
+        # Redeclaration in the same scope replaces the binding (matches the
+        # reference lci interpreter, which treats it as a fresh variable).
+        self.vars[name] = binding
+
+    def find(self, name: str) -> Optional[Binding]:
+        env: Optional[Env] = self
+        while env is not None:
+            b = env.vars.get(name)
+            if b is not None:
+                return b
+            env = env.parent
+        return None
+
+    def lookup(self, name: str, pos: SourcePos | None = None) -> Binding:
+        b = self.find(name)
+        if b is None:
+            raise LolNameError(
+                f"variable '{name}' has not been declared (I HAS A {name})", pos
+            )
+        return b
+
+    def is_declared(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def child(self) -> "Env":
+        return Env(self)

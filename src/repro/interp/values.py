@@ -1,0 +1,168 @@
+"""Operator semantics for LOLCODE values.
+
+Centralises the behaviour of every Table I operator and Table III math
+extension so the interpreter and the compiled-Python backend share one
+implementation (they are differentially tested against each other).
+
+Numeric rules follow the lci reference interpreter the paper extends:
+
+* arithmetic casts YARN operands that look like numbers;
+* if either operand is (or casts to) NUMBAR the result is NUMBAR,
+  otherwise NUMBR;
+* NUMBR division and modulo truncate toward zero (C semantics — the
+  paper's backend is C);
+* ``BOTH SAEM``/``DIFFRINT`` compare numerically across NUMBR/NUMBAR,
+  and by value within a type; comparing a YARN with a NUMBR is FAIL
+  rather than an error (1.2 behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..lang.errors import LolRuntimeError, LolTypeError, SourcePos
+from ..lang.types import (
+    LolType,
+    format_yarn,
+    to_numbar,
+    to_numbr,
+    to_troof,
+    type_of,
+)
+
+_NUMERIC = (LolType.NUMBR, LolType.NUMBAR)
+
+
+def _as_number(value: object, pos: SourcePos | None) -> int | float:
+    """Cast an operand to NUMBR/NUMBAR for arithmetic."""
+    t = type_of(value)
+    if t is LolType.NUMBR or t is LolType.NUMBAR:
+        return value  # type: ignore[return-value]
+    if t is LolType.TROOF:
+        return 1 if value else 0
+    if t is LolType.YARN:
+        s = str(value).strip()
+        try:
+            if any(c in s for c in ".eE") and not s.lstrip("+-").isdigit():
+                return float(s)
+            return int(s)
+        except ValueError:
+            try:
+                return float(s)
+            except ValueError as exc:
+                raise LolTypeError(
+                    f"cannot use YARN {value!r} as a number", pos
+                ) from exc
+    raise LolTypeError(f"cannot use {t} value in arithmetic", pos)
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style integer division (truncate toward zero)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def arith(op: str, lhs: object, rhs: object, pos: SourcePos | None = None) -> object:
+    a = _as_number(lhs, pos)
+    b = _as_number(rhs, pos)
+    both_int = isinstance(a, int) and isinstance(b, int)
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if b == 0:
+            raise LolRuntimeError("QUOSHUNT OF: division by zero", pos)
+        return _trunc_div(a, b) if both_int else a / b
+    if op == "mod":
+        if b == 0:
+            raise LolRuntimeError("MOD OF: division by zero", pos)
+        if both_int:
+            return a - _trunc_div(a, b) * b
+        return math.fmod(a, b)
+    if op == "max":
+        return a if a >= b else b
+    if op == "min":
+        return a if a <= b else b
+    raise LolRuntimeError(f"unknown arithmetic op {op!r}", pos)
+
+
+def equals(lhs: object, rhs: object) -> bool:
+    ta, tb = type_of(lhs), type_of(rhs)
+    if ta in _NUMERIC and tb in _NUMERIC:
+        return float(lhs) == float(rhs)  # type: ignore[arg-type]
+    if ta is not tb:
+        return False
+    return lhs == rhs
+
+
+def compare(op: str, lhs: object, rhs: object, pos: SourcePos | None = None) -> bool:
+    """The paper's Table I comparison keywords ``BIGGER`` / ``SMALLR``."""
+    a = _as_number(lhs, pos)
+    b = _as_number(rhs, pos)
+    return a > b if op == "gt" else a < b
+
+
+def binop(op: str, lhs: object, rhs: object, pos: SourcePos | None = None) -> object:
+    if op in ("add", "sub", "mul", "div", "mod", "max", "min"):
+        return arith(op, lhs, rhs, pos)
+    if op == "eq":
+        return equals(lhs, rhs)
+    if op == "ne":
+        return not equals(lhs, rhs)
+    if op in ("gt", "lt"):
+        return compare(op, lhs, rhs, pos)
+    if op == "and":
+        return to_troof(lhs) and to_troof(rhs)
+    if op == "or":
+        return to_troof(lhs) or to_troof(rhs)
+    if op == "xor":
+        return to_troof(lhs) != to_troof(rhs)
+    raise LolRuntimeError(f"unknown binary op {op!r}", pos)
+
+
+def unop(op: str, value: object, pos: SourcePos | None = None) -> object:
+    if op == "not":
+        return not to_troof(value)
+    if op == "square":  # SQUAR OF: var * var (Table III)
+        v = _as_number(value, pos)
+        return v * v
+    if op == "sqrt":  # UNSQUAR OF: sqrt(var)
+        v = to_numbar(value, pos)
+        if v < 0:
+            raise LolRuntimeError("UNSQUAR OF: negative operand", pos)
+        return math.sqrt(v)
+    if op == "recip":  # FLIP OF: 1/var
+        v = to_numbar(value, pos)
+        if v == 0.0:
+            raise LolRuntimeError("FLIP OF: division by zero", pos)
+        return 1.0 / v
+    raise LolRuntimeError(f"unknown unary op {op!r}", pos)
+
+
+def naryop(op: str, values: list[object], pos: SourcePos | None = None) -> object:
+    if op == "all":
+        return all(to_troof(v) for v in values)
+    if op == "any":
+        return any(to_troof(v) for v in values)
+    if op == "smoosh":
+        return "".join(format_yarn(v) for v in values)
+    raise LolRuntimeError(f"unknown n-ary op {op!r}", pos)
+
+
+#: Estimated floating point work per operator, for the NoC performance
+#: model (``FLIP OF UNSQUAR OF`` dominates the n-body inner loop).
+FLOP_COST = {
+    "add": 1,
+    "sub": 1,
+    "mul": 1,
+    "div": 1,
+    "mod": 1,
+    "max": 1,
+    "min": 1,
+    "square": 1,
+    "sqrt": 4,
+    "recip": 1,
+}

@@ -1,0 +1,36 @@
+"""LOLCODE language front end: lexer, parser, AST, types, diagnostics."""
+
+from . import ast
+from .errors import (
+    LolError,
+    LolNameError,
+    LolParallelError,
+    LolRuntimeError,
+    LolSyntaxError,
+    LolTypeError,
+    SourcePos,
+)
+from .formatter import format_expr, format_program, format_source
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse, parse_tokens
+from .types import LolType
+
+__all__ = [
+    "ast",
+    "LolError",
+    "LolNameError",
+    "LolParallelError",
+    "LolRuntimeError",
+    "LolSyntaxError",
+    "LolTypeError",
+    "SourcePos",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "parse_tokens",
+    "LolType",
+    "format_expr",
+    "format_program",
+    "format_source",
+]

@@ -1,0 +1,406 @@
+"""Static checker (lint) for extended LOLCODE.
+
+The paper positions LOLCODE as a *teaching* language; the mistakes
+students actually make with the parallel extensions are statically
+detectable, so ``lollint`` (and ``lcc --check``) run this pass and report:
+
+========== ============================================================
+code        diagnostic
+========== ============================================================
+``E001``    use of an undeclared variable
+``E002``    assignment to an undeclared variable
+``E003``    ``UR`` reference outside any ``TXT MAH BFF`` predication
+``E004``    locking a variable not declared ``AN IM SHARIN IT``
+``E005``    symmetric (``WE HAS A``) declaration without a type
+``E006``    call to an undefined function / wrong arity
+``E007``    indexing a scalar / scalar use of an array
+``W101``    ``HUGZ`` inside a PE-dependent branch (potential barrier
+            mismatch deadlock — e.g. ``BOTH SAEM ME AN 0, O RLY?``)
+``W102``    remote write followed by a local read of the same symbol
+            with no intervening ``HUGZ`` (the Figure 2 bug, statically)
+``W103``    lock acquired but never released on some path (heuristic:
+            no ``DUN MESIN WIF`` for the symbol anywhere)
+``W104``    declared variable never used
+========== ============================================================
+
+``E``-codes are errors a run would surface dynamically; ``W``-codes are
+heuristic warnings (conservative, straight-line approximations — this is
+a linter, not a model checker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import ast
+from .errors import SourcePos
+from .parser import parse
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    code: str
+    message: str
+    pos: SourcePos
+
+    @property
+    def is_error(self) -> bool:
+        return self.code.startswith("E")
+
+    def render(self) -> str:
+        return f"{self.pos}: {self.code}: {self.message}"
+
+
+@dataclass(slots=True)
+class _VarInfo:
+    name: str
+    pos: SourcePos
+    symmetric: bool = False
+    is_array: bool = False
+    shared_lock: bool = False
+    used: bool = False
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.vars: dict[str, _VarInfo] = {}
+        self.parent = parent
+
+    def declare(self, info: _VarInfo) -> None:
+        self.vars[info.name] = info
+
+    def find(self, name: str) -> Optional[_VarInfo]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def all_vars(self):
+        yield from self.vars.values()
+
+
+class Checker:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.diags: list[Diagnostic] = []
+        self.functions: dict[str, ast.FuncDef] = {}
+        self.txt_depth = 0
+        self.pe_branch_depth = 0  # inside a branch conditioned on ME
+        self._scopes_for_unused: list[_Scope] = []
+        #: straight-line remote-write tracking for W102 (top level only)
+        self._pending_remote_writes: dict[str, SourcePos] = {}
+        #: symbols that appear in DUN MESIN WIF anywhere (for W103)
+        self._unlocked_symbols: set[str] = set()
+        self._locked_symbols: dict[str, SourcePos] = {}
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        for stmt in self.program.body:
+            if isinstance(stmt, ast.FuncDef):
+                self.functions[stmt.name] = stmt
+        for stmt in ast.walk_statements(self.program.body):
+            if isinstance(stmt, ast.LockStmt) and stmt.kind == "unlock":
+                if isinstance(stmt.target, ast.VarRef):
+                    self._unlocked_symbols.add(stmt.target.name)
+        root = _Scope()
+        self._scopes_for_unused.append(root)
+        self.check_block(self.program.body, root)
+        for name, pos in self._locked_symbols.items():
+            if name not in self._unlocked_symbols:
+                self._warn(
+                    "W103",
+                    f"lock on '{name}' is acquired but never released "
+                    f"(no DUN MESIN WIF {name} anywhere)",
+                    pos,
+                )
+        for scope in self._scopes_for_unused:
+            for info in scope.all_vars():
+                if not info.used and not info.name.startswith("_"):
+                    self._warn(
+                        "W104",
+                        f"variable '{info.name}' is declared but never used",
+                        info.pos,
+                    )
+        self.diags.sort(key=lambda d: (d.pos.line, d.pos.col, d.code))
+        return self.diags
+
+    # -- helpers -----------------------------------------------------------
+
+    def _err(self, code: str, message: str, pos: SourcePos) -> None:
+        self.diags.append(Diagnostic(code, message, pos))
+
+    _warn = _err
+
+    # -- statement traversal --------------------------------------------------
+
+    def check_block(self, body: list[ast.Stmt], scope: _Scope) -> None:
+        for stmt in body:
+            self.check_stmt(stmt, scope)
+
+    def _child(self, scope: _Scope) -> _Scope:
+        child = _Scope(scope)
+        self._scopes_for_unused.append(child)
+        return child
+
+    def check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            if stmt.scope == "WE" and stmt.static_type is None:
+                self._err(
+                    "E005",
+                    f"symmetric variable '{stmt.name}' must be typed "
+                    f"(ITZ SRSLY A <type>)",
+                    stmt.pos,
+                )
+            if stmt.size is not None:
+                self.check_expr(stmt.size, scope)
+            if stmt.init is not None:
+                self.check_expr(stmt.init, scope)
+            scope.declare(
+                _VarInfo(
+                    stmt.name,
+                    stmt.pos,
+                    symmetric=stmt.scope == "WE",
+                    is_array=stmt.is_array,
+                    shared_lock=stmt.shared_lock,
+                )
+            )
+        elif isinstance(stmt, ast.Assign):
+            self.check_expr(stmt.value, scope)
+            self.check_target(stmt.target, scope)
+        elif isinstance(stmt, ast.CastStmt):
+            self.check_target(stmt.target, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Visible):
+            for arg in stmt.args:
+                self.check_expr(arg, scope)
+        elif isinstance(stmt, ast.Gimmeh):
+            self.check_target(stmt.target, scope)
+        elif isinstance(stmt, ast.CanHas):
+            pass
+        elif isinstance(stmt, ast.If):
+            self.check_branches(
+                [stmt.ya_rly, *[b for _, b in stmt.mebbe], stmt.no_wai],
+                [cond for cond, _ in stmt.mebbe],
+                scope,
+                pe_dependent=self._last_expr_pe_dependent,
+            )
+        elif isinstance(stmt, ast.Switch):
+            self.check_branches(
+                [b for _, b in stmt.cases] + [stmt.default],
+                [lit for lit, _ in stmt.cases],
+                scope,
+                pe_dependent=self._last_expr_pe_dependent,
+            )
+        elif isinstance(stmt, ast.Loop):
+            loop_scope = self._child(scope)
+            if stmt.var is not None:
+                loop_scope.declare(_VarInfo(stmt.var, stmt.pos))
+                loop_scope.vars[stmt.var].used = True  # counters are fine
+            if stmt.cond is not None:
+                self.check_expr(stmt.cond, loop_scope)
+            self.check_block(stmt.body, loop_scope)
+        elif isinstance(stmt, ast.Gtfo):
+            pass
+        elif isinstance(stmt, ast.FuncDef):
+            fscope = self._child(scope)
+            for p in stmt.params:
+                info = _VarInfo(p, stmt.pos)
+                info.used = True
+                fscope.declare(info)
+            self.check_block(stmt.body, fscope)
+        elif isinstance(stmt, ast.Return):
+            self.check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Hugz):
+            if self.pe_branch_depth > 0:
+                self._warn(
+                    "W101",
+                    "HUGZ inside a PE-dependent branch: if some PEs take "
+                    "a different path, the barrier deadlocks",
+                    stmt.pos,
+                )
+            self._pending_remote_writes.clear()
+        elif isinstance(stmt, ast.LockStmt):
+            self.check_lock(stmt, scope)
+        elif isinstance(stmt, ast.TxtStmt):
+            self.check_expr(stmt.pe, scope)
+            self.txt_depth += 1
+            self.check_block(stmt.body, scope)
+            self.txt_depth -= 1
+
+        # track IT-feeding expressions for PE-dependence (O RLY? tests IT)
+        if isinstance(stmt, ast.ExprStmt):
+            self._last_it_pe_dependent = _mentions_me(stmt.expr)
+
+    _last_it_pe_dependent = False
+
+    @property
+    def _last_expr_pe_dependent(self) -> bool:
+        return self._last_it_pe_dependent
+
+    def check_branches(
+        self,
+        bodies: list[list[ast.Stmt]],
+        conds: list[ast.Expr],
+        scope: _Scope,
+        *,
+        pe_dependent: bool,
+    ) -> None:
+        for cond in conds:
+            self.check_expr(cond, scope)
+            pe_dependent = pe_dependent or _mentions_me(cond)
+        if pe_dependent:
+            self.pe_branch_depth += 1
+        for body in bodies:
+            self.check_block(body, self._child(scope))
+        if pe_dependent:
+            self.pe_branch_depth -= 1
+
+    def check_lock(self, stmt: ast.LockStmt, scope: _Scope) -> None:
+        target = stmt.target
+        if not isinstance(target, ast.VarRef):
+            return  # SRS: dynamic, can't check statically
+        info = scope.find(target.name)
+        if info is None:
+            self._err(
+                "E001",
+                f"lock on undeclared variable '{target.name}'",
+                stmt.pos,
+            )
+            return
+        info.used = True
+        if not info.shared_lock:
+            self._err(
+                "E004",
+                f"'{target.name}' has no lock: declare it with "
+                f"'WE HAS A {target.name} ... AN IM SHARIN IT'",
+                stmt.pos,
+            )
+        if stmt.kind in ("lock", "trylock"):
+            self._locked_symbols.setdefault(target.name, stmt.pos)
+
+    # -- expressions ----------------------------------------------------------
+
+    def check_target(self, target: ast.Expr, scope: _Scope) -> None:
+        if isinstance(target, ast.Index):
+            self.check_expr(target.index, scope)
+            base = target.base
+            if isinstance(base, ast.VarRef):
+                self._check_var(base, scope, is_write=True, indexed=True)
+            return
+        if isinstance(target, ast.VarRef):
+            self._check_var(target, scope, is_write=True)
+            return
+        if isinstance(target, ast.SrsRef):
+            self.check_expr(target.expr, scope)
+
+    def check_expr(self, expr: ast.Expr, scope: _Scope) -> None:
+        for sub in _walk(expr):
+            if isinstance(sub, ast.VarRef):
+                self._check_var(sub, scope, is_write=False,
+                                indexed=_is_index_base(expr, sub))
+            elif isinstance(sub, ast.FuncCall):
+                func = self.functions.get(sub.name)
+                if func is None:
+                    self._err(
+                        "E006", f"no function named '{sub.name}'", sub.pos
+                    )
+                elif len(sub.args) != len(func.params):
+                    self._err(
+                        "E006",
+                        f"function '{sub.name}' wants {len(func.params)} "
+                        f"arguments, got {len(sub.args)}",
+                        sub.pos,
+                    )
+
+    def _check_var(
+        self,
+        ref: ast.VarRef,
+        scope: _Scope,
+        *,
+        is_write: bool,
+        indexed: bool = False,
+    ) -> None:
+        if ref.qualifier == "UR" and self.txt_depth == 0:
+            self._err(
+                "E003",
+                f"'UR {ref.name}' outside a TXT MAH BFF predicated "
+                f"statement or block",
+                ref.pos,
+            )
+        info = scope.find(ref.name)
+        if info is None:
+            code = "E002" if is_write else "E001"
+            verb = "assignment to" if is_write else "use of"
+            self._err(
+                code,
+                f"{verb} undeclared variable '{ref.name}' "
+                f"(I HAS A {ref.name})",
+                ref.pos,
+            )
+            return
+        info.used = True
+        if indexed and not info.is_array:
+            self._err("E007", f"'{ref.name}' is not an array", ref.pos)
+        # W102: remote write then local read with no HUGZ between (top
+        # level straight-line heuristic).
+        if ref.qualifier == "UR" and is_write and info.symmetric:
+            self._pending_remote_writes[ref.name] = ref.pos
+        elif (
+            not is_write
+            and ref.qualifier != "UR"
+            and info.symmetric
+            and ref.name in self._pending_remote_writes
+        ):
+            self._warn(
+                "W102",
+                f"local read of '{ref.name}' after a remote write with no "
+                f"HUGZ in between (the Figure 2 race)",
+                ref.pos,
+            )
+            del self._pending_remote_writes[ref.name]
+
+
+def _walk(expr: ast.Expr):
+    yield expr
+    if isinstance(expr, ast.BinOp):
+        yield from _walk(expr.lhs)
+        yield from _walk(expr.rhs)
+    elif isinstance(expr, ast.UnaryOp):
+        yield from _walk(expr.operand)
+    elif isinstance(expr, ast.NaryOp):
+        for op in expr.operands:
+            yield from _walk(op)
+    elif isinstance(expr, ast.Cast):
+        yield from _walk(expr.expr)
+    elif isinstance(expr, ast.Index):
+        yield from _walk(expr.base)
+        yield from _walk(expr.index)
+    elif isinstance(expr, ast.SrsRef):
+        yield from _walk(expr.expr)
+    elif isinstance(expr, ast.FuncCall):
+        for a in expr.args:
+            yield from _walk(a)
+
+
+def _is_index_base(root: ast.Expr, ref: ast.VarRef) -> bool:
+    for sub in _walk(root):
+        if isinstance(sub, ast.Index) and sub.base is ref:
+            return True
+    return False
+
+
+def _mentions_me(expr: ast.Expr) -> bool:
+    return any(isinstance(sub, ast.MeExpr) for sub in _walk(expr))
+
+
+def check_program(program: ast.Program) -> list[Diagnostic]:
+    return Checker(program).run()
+
+
+def check_source(source: str, filename: str = "<string>") -> list[Diagnostic]:
+    return check_program(parse(source, filename))

@@ -1,0 +1,58 @@
+"""Diagnostics for the LOLCODE toolchain.
+
+Every error raised by the lexer, parser, static analyzer, interpreter, or
+compiler carries a source location so the CLI tools (``lcc``, ``loli``,
+``lolrun``) can print ``file:line:col`` style messages, mirroring the
+behaviour of the paper's lex/yacc-based ``lcc`` compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourcePos:
+    """A position in a LOLCODE source file (1-based line and column)."""
+
+    line: int = 0
+    col: int = 0
+    filename: str = "<string>"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.filename}:{self.line}:{self.col}"
+
+
+class LolError(Exception):
+    """Base class for all toolchain errors."""
+
+    def __init__(self, message: str, pos: SourcePos | None = None) -> None:
+        self.message = message
+        self.pos = pos or SourcePos()
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        if self.pos.line:
+            return f"{self.pos}: {self.message}"
+        return self.message
+
+
+class LolSyntaxError(LolError):
+    """Lexing or parsing failure."""
+
+
+class LolTypeError(LolError):
+    """Static or dynamic type violation (casting, static typing extension)."""
+
+
+class LolNameError(LolError):
+    """Reference to an undeclared variable, function, or loop label."""
+
+
+class LolRuntimeError(LolError):
+    """Any other runtime failure (division by zero, bad index, ...)."""
+
+
+class LolParallelError(LolError):
+    """Misuse of the parallel extensions (e.g. ``UR`` outside ``TXT MAH BFF``,
+    locking a variable that was not declared ``AN IM SHARIN IT``)."""

@@ -1,0 +1,336 @@
+"""Lexer for LOLCODE 1.2 with the paper's parallel extensions.
+
+The lexer is line oriented, mirroring LOLCODE's statement model:
+
+* a physical newline ends a statement (emitted as a ``NEWLINE`` token);
+* a comma is a *virtual* newline (paper Table I) and is emitted as the
+  same ``NEWLINE`` token;
+* ``...`` (or the unicode ellipsis) at end of line continues the logical
+  line, exactly as used throughout the paper's n-body listing;
+* ``BTW`` starts a line comment, ``OBTW``/``TLDR`` bracket a block comment.
+
+Multi-word keywords (``TXT MAH BFF``, ``IM SRSLY MESIN WIF``, ...) are
+matched greedily, longest phrase first, so ``MAH FRENZ`` lexes as one
+keyword while ``MAH x`` lexes as the ``MAH`` qualifier followed by an
+identifier.
+
+String literals support the LOLCODE 1.2 colon escapes:
+
+====== ==========================
+``:)`` newline
+``:>`` tab
+``:o`` bell
+``:"`` double quote
+``::`` literal colon
+``:(<hex>)`` unicode code point
+``:{<var>}`` variable interpolation
+====== ==========================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .errors import LolSyntaxError, SourcePos
+from .tokens import KEYWORD_PHRASES, Token, TokType
+
+_WORD_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"-?\d+(\.\d+)?([eE][-+]?\d+)?")
+_ELLIPSIS = ("...", "…")
+
+
+@dataclass(frozen=True, slots=True)
+class _Lexeme:
+    """A raw lexeme prior to keyword phrase grouping."""
+
+    kind: str  # word | int | float | string | qmark | bang | newline | indexz
+    text: str
+    value: object
+    pos: SourcePos
+
+
+def _build_phrase_table() -> dict[str, list[tuple[str, ...]]]:
+    table: dict[str, list[tuple[str, ...]]] = {}
+    for phrase in KEYWORD_PHRASES:
+        words = tuple(phrase.split(" "))
+        table.setdefault(words[0], []).append(words)
+    for options in table.values():
+        options.sort(key=len, reverse=True)
+    return table
+
+
+_PHRASES_BY_FIRST_WORD = _build_phrase_table()
+
+
+class Lexer:
+    """Tokenize LOLCODE source text into a flat token stream."""
+
+    def __init__(self, source: str, filename: str = "<string>") -> None:
+        self.source = source
+        self.filename = filename
+
+    # -- public API ---------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        lexemes = self._scan()
+        return self._group_keywords(lexemes)
+
+    # -- pass 1: raw lexemes --------------------------------------------------
+
+    def _scan(self) -> list[_Lexeme]:
+        out: list[_Lexeme] = []
+        lines = self.source.split("\n")
+        lineno = 0
+        in_block_comment = False
+        continuing = False
+        n_lines = len(lines)
+        while lineno < n_lines:
+            raw = lines[lineno]
+            lineno += 1
+            i = 0
+            length = len(raw)
+            line_has_content = False
+            ends_with_continuation = False
+            while i < length:
+                ch = raw[i]
+                pos = SourcePos(lineno, i + 1, self.filename)
+                if in_block_comment:
+                    # Look for TLDR terminating the block comment.
+                    m = _WORD_RE.match(raw, i)
+                    if m and m.group(0) == "TLDR":
+                        in_block_comment = False
+                        i = m.end()
+                    else:
+                        i += 1
+                    continue
+                if ch in " \t\r":
+                    i += 1
+                    continue
+                if raw.startswith(_ELLIPSIS[0], i) or raw.startswith(_ELLIPSIS[1], i):
+                    ends_with_continuation = True
+                    i += 3 if raw.startswith(_ELLIPSIS[0], i) else 1
+                    # Everything after a continuation marker on the same
+                    # line must be whitespace or a comment.
+                    rest = raw[i:].strip()
+                    if rest and not rest.startswith("BTW"):
+                        raise LolSyntaxError(
+                            "unexpected text after '...' line continuation", pos
+                        )
+                    i = length
+                    continue
+                if ch == ",":
+                    out.append(_Lexeme("newline", ",", None, pos))
+                    i += 1
+                    line_has_content = True
+                    continue
+                if ch == "?":
+                    out.append(_Lexeme("qmark", "?", None, pos))
+                    i += 1
+                    line_has_content = True
+                    continue
+                if ch == "!":
+                    out.append(_Lexeme("bang", "!", None, pos))
+                    i += 1
+                    line_has_content = True
+                    continue
+                if ch == "'" and raw.startswith("'Z", i):
+                    out.append(_Lexeme("indexz", "'Z", None, pos))
+                    i += 2
+                    line_has_content = True
+                    continue
+                if ch == '"':
+                    parts, i = self._scan_string(raw, i, lineno)
+                    out.append(_Lexeme("string", '"..."', parts, pos))
+                    line_has_content = True
+                    continue
+                # ASCII digits only: str.isdigit() accepts unicode digit
+                # forms (e.g. superscripts) the number regex rejects.
+                if ch in "0123456789" or (
+                    ch == "-" and i + 1 < length and raw[i + 1] in "0123456789"
+                ):
+                    m = _NUM_RE.match(raw, i)
+                    assert m is not None
+                    text = m.group(0)
+                    if m.group(1) or m.group(2):
+                        out.append(_Lexeme("float", text, float(text), pos))
+                    else:
+                        out.append(_Lexeme("int", text, int(text), pos))
+                    i = m.end()
+                    line_has_content = True
+                    continue
+                m = _WORD_RE.match(raw, i)
+                if m:
+                    word = m.group(0)
+                    if word == "BTW":
+                        i = length  # rest of line is a comment
+                        continue
+                    if word == "OBTW" and not line_has_content:
+                        in_block_comment = True
+                        i = m.end()
+                        continue
+                    out.append(_Lexeme("word", word, word, pos))
+                    i = m.end()
+                    line_has_content = True
+                    continue
+                raise LolSyntaxError(f"unexpected character {ch!r}", pos)
+            if in_block_comment:
+                continue
+            if ends_with_continuation:
+                continuing = True
+                continue
+            if line_has_content or continuing:
+                out.append(
+                    _Lexeme(
+                        "newline", "\n", None, SourcePos(lineno, length + 1, self.filename)
+                    )
+                )
+            continuing = False
+        out.append(
+            _Lexeme("newline", "\n", None, SourcePos(n_lines + 1, 1, self.filename))
+        )
+        return out
+
+    def _scan_string(
+        self, raw: str, start: int, lineno: int
+    ) -> tuple[list[object], int]:
+        """Scan a double-quoted string starting at ``raw[start]``.
+
+        Returns a list of parts: plain ``str`` segments interleaved with
+        ``("interp", varname)`` tuples for ``:{var}`` interpolation.
+        """
+        i = start + 1
+        length = len(raw)
+        parts: list[object] = []
+        buf: list[str] = []
+
+        def flush() -> None:
+            if buf:
+                parts.append("".join(buf))
+                buf.clear()
+
+        while i < length:
+            ch = raw[i]
+            if ch == '"':
+                flush()
+                return parts, i + 1
+            if ch == ":":
+                if i + 1 >= length:
+                    break
+                esc = raw[i + 1]
+                if esc == ")":
+                    buf.append("\n")
+                    i += 2
+                elif esc == ">":
+                    buf.append("\t")
+                    i += 2
+                elif esc == "o":
+                    buf.append("\a")
+                    i += 2
+                elif esc == '"':
+                    buf.append('"')
+                    i += 2
+                elif esc == ":":
+                    buf.append(":")
+                    i += 2
+                elif esc == "(":
+                    end = raw.find(")", i + 2)
+                    if end < 0:
+                        raise LolSyntaxError(
+                            "unterminated :(<hex>) escape",
+                            SourcePos(lineno, i + 1, self.filename),
+                        )
+                    hexpart = raw[i + 2 : end]
+                    try:
+                        buf.append(chr(int(hexpart, 16)))
+                    except ValueError as exc:
+                        raise LolSyntaxError(
+                            f"bad hex escape {hexpart!r}",
+                            SourcePos(lineno, i + 1, self.filename),
+                        ) from exc
+                    i = end + 1
+                elif esc == "{":
+                    end = raw.find("}", i + 2)
+                    if end < 0:
+                        raise LolSyntaxError(
+                            "unterminated :{var} interpolation",
+                            SourcePos(lineno, i + 1, self.filename),
+                        )
+                    varname = raw[i + 2 : end]
+                    if not _WORD_RE.fullmatch(varname):
+                        raise LolSyntaxError(
+                            f"bad interpolation variable {varname!r}",
+                            SourcePos(lineno, i + 1, self.filename),
+                        )
+                    flush()
+                    parts.append(("interp", varname))
+                    i = end + 1
+                else:
+                    raise LolSyntaxError(
+                        f"unknown string escape ':{esc}'",
+                        SourcePos(lineno, i + 1, self.filename),
+                    )
+                continue
+            buf.append(ch)
+            i += 1
+        raise LolSyntaxError(
+            "unterminated string literal", SourcePos(lineno, start + 1, self.filename)
+        )
+
+    # -- pass 2: keyword phrase grouping ------------------------------------
+
+    def _group_keywords(self, lexemes: list[_Lexeme]) -> list[Token]:
+        tokens: list[Token] = []
+        i = 0
+        n = len(lexemes)
+        while i < n:
+            lx = lexemes[i]
+            if lx.kind == "word":
+                options = _PHRASES_BY_FIRST_WORD.get(lx.text)
+                matched = False
+                if options:
+                    for phrase_words in options:
+                        k = len(phrase_words)
+                        if i + k <= n and all(
+                            lexemes[i + j].kind == "word"
+                            and lexemes[i + j].text == phrase_words[j]
+                            for j in range(k)
+                        ):
+                            tokens.append(
+                                Token(TokType.KW, " ".join(phrase_words), lx.pos)
+                            )
+                            i += k
+                            matched = True
+                            break
+                if matched:
+                    continue
+                tokens.append(Token(TokType.IDENT, lx.text, lx.pos))
+                i += 1
+                continue
+            if lx.kind == "int":
+                tokens.append(Token(TokType.INT, lx.value, lx.pos))
+            elif lx.kind == "float":
+                tokens.append(Token(TokType.FLOAT, lx.value, lx.pos))
+            elif lx.kind == "string":
+                tokens.append(Token(TokType.STRING, lx.value, lx.pos))
+            elif lx.kind == "qmark":
+                tokens.append(Token(TokType.QMARK, "?", lx.pos))
+            elif lx.kind == "bang":
+                tokens.append(Token(TokType.BANG, "!", lx.pos))
+            elif lx.kind == "indexz":
+                tokens.append(Token(TokType.KW, "'Z", lx.pos))
+            elif lx.kind == "newline":
+                # Collapse runs of newlines into one token.
+                if tokens and tokens[-1].type is TokType.NEWLINE:
+                    i += 1
+                    continue
+                tokens.append(Token(TokType.NEWLINE, "\n", lx.pos))
+            i += 1
+        last_pos = tokens[-1].pos if tokens else SourcePos(1, 1, self.filename)
+        tokens.append(Token(TokType.EOF, None, last_pos))
+        return tokens
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

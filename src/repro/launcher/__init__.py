@@ -1,0 +1,5 @@
+"""SPMD program launcher (the paper's ``coprsh``/``aprun`` analogue)."""
+
+from .spmd import EXECUTORS, const_eval, plan_from_program, run_file, run_lolcode
+
+__all__ = ["EXECUTORS", "const_eval", "plan_from_program", "run_file", "run_lolcode"]

@@ -1,0 +1,148 @@
+"""SPMD launcher for LOLCODE programs — the paper's ``coprsh`` / ``aprun``.
+
+``run_lolcode(source, n_pes)`` is the one-call entry point used by the
+``lolrun`` CLI, the examples, and the benchmarks.  Three executors:
+
+* ``"thread"`` (default) — one Python thread per PE; supports every
+  feature including the race detector;
+* ``"process"`` — one OS process per PE over shared memory; true
+  parallelism, numeric symmetric data only (see
+  :mod:`repro.shmem.runtime_procs`);
+* ``"serial"`` — requires ``n_pes == 1``; runs inline (the behaviour of a
+  plain LOLCODE interpreter, ``loli``).
+
+The process executor needs the symmetric allocation set before workers
+start, so :func:`plan_from_program` statically scans the AST for
+``WE HAS A`` declarations and constant-folds their sizes (``MAH FRENZ``
+folds to ``n_pes``; ``ME`` cannot appear in a size, since per-PE sizes
+would break the symmetric-heap requirement — exactly as in OpenSHMEM).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional, Sequence
+
+from ..lang import ast
+from ..lang.errors import LolParallelError
+from ..lang.parser import parse
+from ..lang.types import parse_type, to_numbr
+from ..interp.interpreter import Interpreter
+from ..interp.values import binop, unop
+from ..shmem.api import DEFAULT_BARRIER_TIMEOUT, ShmemContext
+from ..shmem.heap import SymmetricPlan
+from ..shmem.runtime_procs import run_spmd_procs
+from ..shmem.runtime_threads import SpmdResult, run_spmd
+
+EXECUTORS = ("thread", "process", "serial")
+
+
+def const_eval(expr: ast.Expr, n_pes: int) -> int:
+    """Constant-fold an array-size expression for the symmetric plan."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return int(expr.value)
+    if isinstance(expr, ast.FrenzExpr):
+        return n_pes
+    if isinstance(expr, ast.BinOp):
+        lhs = const_eval(expr.lhs, n_pes)
+        rhs = const_eval(expr.rhs, n_pes)
+        return to_numbr(binop(expr.op, lhs, rhs, expr.pos), expr.pos)
+    if isinstance(expr, ast.UnaryOp):
+        return to_numbr(unop(expr.op, const_eval(expr.operand, n_pes)), expr.pos)
+    if isinstance(expr, ast.MeExpr):
+        raise LolParallelError(
+            "symmetric array sizes cannot depend on ME (all PEs must "
+            "allocate identically)",
+            expr.pos,
+        )
+    raise LolParallelError(
+        "symmetric array size must be a compile-time constant for the "
+        "process executor",
+        expr.pos,
+    )
+
+
+def plan_from_program(program: ast.Program, n_pes: int) -> SymmetricPlan:
+    """Collect every ``WE HAS A`` declaration into a symmetric plan."""
+    plan = SymmetricPlan()
+    for stmt in ast.walk_statements(program.body):
+        if isinstance(stmt, ast.VarDecl) and stmt.scope == "WE":
+            if stmt.static_type is None:
+                raise LolParallelError(
+                    f"symmetric variable '{stmt.name}' must be typed",
+                    stmt.pos,
+                )
+            lol_type = parse_type(stmt.static_type, stmt.pos)
+            size = const_eval(stmt.size, n_pes) if stmt.is_array else 1
+            plan.add(stmt.name, lol_type, stmt.is_array, size, stmt.shared_lock)
+    return plan
+
+
+def _pe_main(source: str, filename: str, max_steps, ctx: ShmemContext) -> None:
+    """Module-level worker so the process executor can pickle it."""
+    program = parse(source, filename)
+    Interpreter(program, ctx, max_steps=max_steps).run()
+
+
+def run_lolcode(
+    source: str,
+    n_pes: int = 1,
+    *,
+    executor: str = "thread",
+    filename: str = "<string>",
+    seed: Optional[int] = None,
+    stdin_lines: Optional[Sequence[Sequence[str]]] = None,
+    trace: bool = False,
+    trace_detail: bool = True,
+    race_detection: bool = False,
+    max_steps: Optional[int] = None,
+    barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+) -> SpmdResult:
+    """Parse ``source`` once (for early syntax errors) and run it SPMD."""
+    if executor not in EXECUTORS:
+        raise LolParallelError(
+            f"unknown executor {executor!r} (choose from {EXECUTORS})"
+        )
+    program = parse(source, filename)  # surface syntax errors in the caller
+    worker = partial(_pe_main, source, filename, max_steps)
+
+    if executor == "process":
+        if race_detection:
+            raise LolParallelError(
+                "race detection requires the thread executor"
+            )
+        plan = plan_from_program(program, n_pes)
+        return run_spmd_procs(
+            worker,
+            n_pes,
+            plan,
+            seed=seed,
+            stdin_lines=stdin_lines,
+            trace=trace,
+            barrier_timeout=barrier_timeout,
+        )
+
+    if executor == "serial" and n_pes != 1:
+        raise LolParallelError(
+            f"serial executor runs exactly 1 PE, got {n_pes}"
+        )
+    return run_spmd(
+        worker,
+        n_pes,
+        seed=seed,
+        stdin_lines=stdin_lines,
+        trace=trace,
+        trace_detail=trace_detail,
+        race_detection=race_detection,
+        barrier_timeout=barrier_timeout,
+    )
+
+
+def run_file(path: str, n_pes: int = 1, **kwargs) -> SpmdResult:
+    """``lolrun -np N path.lol`` — read a program from disk and run it."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    kwargs.setdefault("filename", path)
+    return run_lolcode(source, n_pes, **kwargs)

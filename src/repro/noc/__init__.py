@@ -1,0 +1,52 @@
+"""NoC topology and machine cost models (the paper's hardware, simulated).
+
+The Epiphany-III eMesh and Cray XC40 are modeled analytically; benchmarks
+execute on the Python runtime, record an op trace, and replay it here to
+obtain modeled execution times (see DESIGN.md, substitution table).
+"""
+
+from .machines import (
+    MachineModel,
+    cray_xc40,
+    epiphany_iii,
+    ideal_crossbar,
+    python_host,
+    registry,
+)
+from .mesh import LinkTraffic, Mesh2D, square_mesh_for
+from .report import (
+    comm_matrix,
+    render_activity,
+    render_comm_matrix,
+    render_machine_costs,
+    render_report,
+)
+from .timing import (
+    PeEstimate,
+    TimeEstimate,
+    estimate,
+    link_traffic_from_trace,
+    local_vs_remote_ratio,
+)
+
+__all__ = [
+    "MachineModel",
+    "cray_xc40",
+    "epiphany_iii",
+    "ideal_crossbar",
+    "python_host",
+    "registry",
+    "LinkTraffic",
+    "Mesh2D",
+    "square_mesh_for",
+    "PeEstimate",
+    "TimeEstimate",
+    "estimate",
+    "link_traffic_from_trace",
+    "local_vs_remote_ratio",
+    "comm_matrix",
+    "render_activity",
+    "render_comm_matrix",
+    "render_machine_costs",
+    "render_report",
+]

@@ -1,0 +1,121 @@
+"""2-D mesh network-on-chip topology (the Epiphany-III eMesh).
+
+The Epiphany-III the paper targets is "a low-power 2D RISC array
+architecture with a network on chip (NoC) [that] may be thought of, and
+programmed, as a cluster on a chip" — a 4x4 grid of cores with
+dimension-ordered (XY) routing.  This module provides the topology and
+routing used by the machine cost models and the routing ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.errors import LolRuntimeError
+
+
+@dataclass(frozen=True, slots=True)
+class Mesh2D:
+    """A ``rows x cols`` mesh with XY dimension-ordered routing."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise LolRuntimeError("mesh dimensions must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, pe: int) -> tuple[int, int]:
+        """PE id -> (row, col), row-major as on the Epiphany."""
+        if not 0 <= pe < self.n_nodes:
+            raise LolRuntimeError(
+                f"PE {pe} out of range for {self.rows}x{self.cols} mesh"
+            )
+        return divmod(pe, self.cols)
+
+    def pe_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise LolRuntimeError(f"({row},{col}) outside mesh")
+        return row * self.cols + col
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance — the XY route length."""
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def xy_route(self, src: int, dst: int) -> list[int]:
+        """The full XY route as a list of PE ids, inclusive of endpoints.
+
+        Dimension-ordered: travel along X (columns) first, then Y (rows) —
+        deadlock-free on a mesh.
+        """
+        r1, c1 = self.coords(src)
+        r2, c2 = self.coords(dst)
+        path = [self.pe_at(r1, c1)]
+        c = c1
+        while c != c2:
+            c += 1 if c2 > c else -1
+            path.append(self.pe_at(r1, c))
+        r = r1
+        while r != r2:
+            r += 1 if r2 > r else -1
+            path.append(self.pe_at(r, c))
+        return path
+
+    def route_links(self, src: int, dst: int) -> list[tuple[int, int]]:
+        """Directed links traversed by the XY route."""
+        path = self.xy_route(src, dst)
+        return list(zip(path, path[1:]))
+
+    def max_hops(self) -> int:
+        """Network diameter."""
+        return (self.rows - 1) + (self.cols - 1)
+
+    def average_hops(self) -> float:
+        """Mean hop count over all ordered (src != dst) pairs."""
+        n = self.n_nodes
+        if n == 1:
+            return 0.0
+        total = sum(
+            self.hops(s, d) for s in range(n) for d in range(n) if s != d
+        )
+        return total / (n * (n - 1))
+
+
+def square_mesh_for(n_pes: int) -> Mesh2D:
+    """Smallest square-ish mesh with at least ``n_pes`` nodes (e.g. the
+    canonical 4x4 for the 16-core Epiphany-III)."""
+    rows = 1
+    while rows * rows < n_pes:
+        rows += 1
+    cols = rows
+    while rows * (cols - 1) >= n_pes:
+        cols -= 1
+    return Mesh2D(rows, cols)
+
+
+class LinkTraffic:
+    """Accumulates per-link byte counts for contention analysis
+    (XY-routing vs ideal-crossbar ablation)."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+        self.bytes_on_link: dict[tuple[int, int], int] = {}
+
+    def add_transfer(self, src: int, dst: int, nbytes: int) -> None:
+        for link in self.mesh.route_links(src, dst):
+            self.bytes_on_link[link] = self.bytes_on_link.get(link, 0) + nbytes
+
+    def hottest_link(self) -> tuple[tuple[int, int], int]:
+        if not self.bytes_on_link:
+            return ((0, 0), 0)
+        link = max(self.bytes_on_link, key=self.bytes_on_link.get)
+        return link, self.bytes_on_link[link]
+
+    def total_link_bytes(self) -> int:
+        return sum(self.bytes_on_link.values())

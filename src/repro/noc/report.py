@@ -1,0 +1,92 @@
+"""Human-readable reports from SPMD op traces.
+
+Turns a :class:`~repro.shmem.trace.WorldTrace` into the artifacts an
+instructor (or a curious student) wants on screen after a run:
+
+* a **communication matrix** — bytes moved between each (src, dst) PE
+  pair, the standard way to show a ring/stencil/all-to-all pattern;
+* a **per-PE activity table** — puts/gets/barriers/flops per PE, which
+  makes load imbalance visible;
+* a **modeled cost table** across machine models.
+
+Used by ``examples/heat_diffusion.py`` and available as
+``repro.noc.report.render_*`` for any traced run.
+"""
+
+from __future__ import annotations
+
+from ..shmem.trace import OpKind, WorldTrace
+from .machines import MachineModel
+from .timing import estimate
+
+
+def comm_matrix(trace: WorldTrace) -> list[list[int]]:
+    """bytes[src][dst] moved by one-sided ops (puts + gets + atomics)."""
+    n = trace.n_pes
+    matrix = [[0] * n for _ in range(n)]
+    for ev in trace.all_events():
+        if ev.kind in (OpKind.PUT, OpKind.GET, OpKind.ATOMIC):
+            if 0 <= ev.dst_pe < n and ev.dst_pe != ev.src_pe:
+                matrix[ev.src_pe][ev.dst_pe] += ev.nbytes
+    return matrix
+
+
+def render_comm_matrix(trace: WorldTrace) -> str:
+    matrix = comm_matrix(trace)
+    n = trace.n_pes
+    width = max(6, *(len(str(v)) for row in matrix for v in row))
+    lines = ["communication matrix (bytes, src row -> dst col):"]
+    header = "      " + " ".join(f"PE{d}".rjust(width) for d in range(n))
+    lines.append(header)
+    for src in range(n):
+        cells = " ".join(
+            (str(matrix[src][dst]) if matrix[src][dst] else ".".rjust(1)).rjust(width)
+            for dst in range(n)
+        )
+        lines.append(f"  PE{src} " + cells)
+    return "\n".join(lines)
+
+
+def render_activity(trace: WorldTrace) -> str:
+    lines = ["per-PE activity:"]
+    lines.append(
+        f"  {'PE':>3} {'puts':>6} {'gets':>6} {'barriers':>8} "
+        f"{'locks':>6} {'flops':>10} {'remote B':>9}"
+    )
+    for t in trace.per_pe:
+        lines.append(
+            f"  {t.pe:>3} {t.counts[OpKind.PUT]:>6} {t.counts[OpKind.GET]:>6} "
+            f"{t.counts[OpKind.BARRIER]:>8} "
+            f"{t.counts[OpKind.LOCK] + t.counts[OpKind.TRYLOCK]:>6} "
+            f"{t.local_flops:>10} "
+            f"{t.remote_bytes_put + t.remote_bytes_got:>9}"
+        )
+    return "\n".join(lines)
+
+
+def render_machine_costs(
+    trace: WorldTrace, machines: list[MachineModel]
+) -> str:
+    lines = ["modeled cost across machines:"]
+    lines.append(
+        f"  {'machine':<36} {'makespan':>12} {'compute':>10} "
+        f"{'comm':>10} {'sync':>10}"
+    )
+    for machine in machines:
+        est = estimate(trace, machine)
+        lines.append(
+            f"  {machine.name:<36} {est.makespan_s * 1e3:>10.3f}ms "
+            f"{est.compute_s * 1e3:>8.3f}ms {est.comm_s * 1e3:>8.3f}ms "
+            f"{est.sync_s * 1e3:>8.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+def render_report(
+    trace: WorldTrace, machines: list[MachineModel] | None = None
+) -> str:
+    """The full post-run report."""
+    parts = [render_activity(trace), "", render_comm_matrix(trace)]
+    if machines:
+        parts += ["", render_machine_costs(trace, machines)]
+    return "\n".join(parts)

@@ -1,0 +1,130 @@
+"""Trace-driven performance estimation.
+
+A program runs once on the Python runtime with tracing enabled; the
+resulting :class:`~repro.shmem.trace.WorldTrace` is replayed against a
+:class:`~repro.noc.machines.MachineModel` to estimate what the same
+communication/computation pattern would cost on the paper's hardware.
+
+The model is deliberately simple (teaching-grade, like the paper):
+
+* per PE: ``time = compute + sum(remote op costs) + sum(barrier costs)``
+  with no computation/communication overlap (conservative);
+* makespan = max over PEs (SPMD: everyone runs the same program);
+* barrier wait/imbalance is not modeled beyond the barrier's own cost —
+  the interesting signal is the compute-vs-communication split and how it
+  shifts with PE count and machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..shmem.trace import OpKind, WorldTrace
+from .machines import MachineModel
+from .mesh import LinkTraffic, Mesh2D
+
+
+@dataclass(slots=True)
+class PeEstimate:
+    pe: int
+    compute_s: float = 0.0
+    put_s: float = 0.0
+    get_s: float = 0.0
+    atomic_s: float = 0.0
+    barrier_s: float = 0.0
+    lock_s: float = 0.0
+
+    @property
+    def comm_s(self) -> float:
+        return self.put_s + self.get_s + self.atomic_s
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.comm_s + self.barrier_s + self.lock_s
+
+
+@dataclass
+class TimeEstimate:
+    machine: str
+    n_pes: int
+    per_pe: list[PeEstimate] = field(default_factory=list)
+
+    @property
+    def makespan_s(self) -> float:
+        return max((p.total_s for p in self.per_pe), default=0.0)
+
+    @property
+    def compute_s(self) -> float:
+        return max((p.compute_s for p in self.per_pe), default=0.0)
+
+    @property
+    def comm_s(self) -> float:
+        return max((p.comm_s for p in self.per_pe), default=0.0)
+
+    @property
+    def sync_s(self) -> float:
+        return max((p.barrier_s + p.lock_s for p in self.per_pe), default=0.0)
+
+    def comm_fraction(self) -> float:
+        total = self.makespan_s
+        if total == 0.0:
+            return 0.0
+        return (self.comm_s + self.sync_s) / total
+
+    def row(self) -> dict[str, object]:
+        """One table row for the benchmark harnesses."""
+        return {
+            "machine": self.machine,
+            "n_pes": self.n_pes,
+            "makespan_s": self.makespan_s,
+            "compute_s": self.compute_s,
+            "comm_s": self.comm_s,
+            "sync_s": self.sync_s,
+            "comm_frac": round(self.comm_fraction(), 4),
+        }
+
+
+def estimate(trace: WorldTrace, machine: MachineModel) -> TimeEstimate:
+    """Replay ``trace`` against ``machine``."""
+    est = TimeEstimate(machine.name, trace.n_pes)
+    for pe_trace in trace.per_pe:
+        pe = pe_trace.pe
+        p = PeEstimate(pe)
+        p.compute_s = machine.compute_time(pe_trace.local_flops)
+        for ev in pe_trace.events:
+            if ev.kind is OpKind.PUT and ev.dst_pe != ev.src_pe:
+                p.put_s += machine.put_time(ev.src_pe, ev.dst_pe, ev.nbytes)
+            elif ev.kind is OpKind.GET and ev.dst_pe != ev.src_pe:
+                p.get_s += machine.get_time(ev.src_pe, ev.dst_pe, ev.nbytes)
+            elif ev.kind is OpKind.ATOMIC:
+                p.atomic_s += machine.get_time(ev.src_pe, ev.dst_pe, ev.nbytes)
+            elif ev.kind is OpKind.BARRIER:
+                p.barrier_s += machine.barrier_time(trace.n_pes)
+            elif ev.kind in (OpKind.LOCK, OpKind.TRYLOCK, OpKind.UNLOCK):
+                p.lock_s += machine.lock_overhead
+            elif ev.kind in (OpKind.BCAST, OpKind.REDUCE):
+                p.barrier_s += machine.barrier_time(trace.n_pes)
+        est.per_pe.append(p)
+    return est
+
+
+def local_vs_remote_ratio(machine: MachineModel, nbytes: int = 8) -> float:
+    """Figure 1's PGAS asymmetry on ``machine``: cost of a remote get of
+    ``nbytes`` relative to a local load (modeled as one flop-time)."""
+    local = 1.0 / machine.flops_per_pe
+    hops = machine.mesh.max_hops() if machine.mesh else 1
+    remote = machine.get_multiplier * (
+        machine.put_latency + 2 * hops * machine.hop_latency
+        + nbytes * machine.byte_time
+    )
+    return remote / local
+
+
+def link_traffic_from_trace(trace: WorldTrace, mesh: Mesh2D) -> LinkTraffic:
+    """Project a trace's remote transfers onto mesh links (ablation)."""
+    traffic = LinkTraffic(mesh)
+    n = mesh.n_nodes
+    for ev in trace.all_events():
+        if ev.kind in (OpKind.PUT, OpKind.GET) and ev.dst_pe not in (-1, ev.src_pe):
+            traffic.add_transfer(ev.src_pe % n, ev.dst_pe % n, ev.nbytes)
+    return traffic

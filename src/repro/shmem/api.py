@@ -1,0 +1,477 @@
+"""OpenSHMEM-like runtime API: the :class:`World` and per-PE
+:class:`ShmemContext`.
+
+This is the substrate the paper's language extensions compile down to.
+The mapping of LOLCODE constructs to context methods:
+
+================================= =======================================
+LOLCODE (Table II)                ``ShmemContext``
+================================= =======================================
+``ME``                            ``ctx.my_pe``
+``MAH FRENZ``                     ``ctx.n_pes``
+``HUGZ``                          ``ctx.barrier_all()``
+``TXT MAH BFF k, MAH x R UR x``   ``ctx.get("x", k)``
+``TXT MAH BFF k, UR b R MAH a``   ``ctx.put("b", value, k)``
+``IM SRSLY MESIN WIF x``          ``ctx.set_lock("x")``
+``IM MESIN WIF x`` (trylock)      ``ctx.test_lock("x")``
+``DUN MESIN WIF x``               ``ctx.clear_lock("x")``
+``WE HAS A x ITZ SRSLY A NUMBR``  ``ctx.alloc_scalar("x", LolType.NUMBR)``
+================================= =======================================
+
+plus a handful of OpenSHMEM conveniences that the backend uses implicitly
+("other OpenSHMEM routines are used implicitly in the backend but do not
+have a direct language analog"): atomics, broadcast, reductions, and
+``wait_until`` point-to-point synchronisation.
+
+The world is executor-agnostic: the thread executor
+(:mod:`repro.shmem.runtime_threads`) instantiates it with ``threading``
+primitives, the process executor (:mod:`repro.shmem.runtime_procs`) with
+``multiprocessing`` primitives over shared memory segments.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..lang.errors import LolParallelError, LolRuntimeError
+from ..lang.types import LolType
+from .heap import ArrayCell, SymmetricHeap, SymmetricObject
+from .locks import LockTable
+from .racecheck import RaceDetector
+from .trace import OpEvent, OpKind, OpTrace
+
+#: Default timeout for collective operations; prevents a buggy program
+#: (e.g. mismatched barrier counts) from hanging the test suite forever.
+DEFAULT_BARRIER_TIMEOUT = 120.0
+
+_ELEM_BYTES = 8
+
+
+class _EpochBox:
+    """Barrier epoch counter (plain int for threads; subclassed for procs)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def increment(self) -> None:
+        self._value += 1
+
+    def read(self) -> int:
+        return self._value
+
+
+class World:
+    """Everything shared by the PEs of one SPMD execution."""
+
+    def __init__(
+        self,
+        n_pes: int,
+        *,
+        barrier,
+        heap: SymmetricHeap,
+        locks: LockTable,
+        epoch_box: Optional[_EpochBox] = None,
+        race_detector: Optional[RaceDetector] = None,
+        exchange: Optional[list] = None,
+        atomic_mutex=None,
+        barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+    ) -> None:
+        self.n_pes = n_pes
+        self.barrier = barrier
+        self.heap = heap
+        self.locks = locks
+        self.epoch_box = epoch_box or _EpochBox()
+        self.race_detector = race_detector
+        self.exchange = exchange if exchange is not None else [None] * n_pes
+        self.atomic_mutex = atomic_mutex or threading.Lock()
+        self.barrier_timeout = barrier_timeout
+
+    @classmethod
+    def for_threads(
+        cls,
+        n_pes: int,
+        *,
+        race_detection: bool = False,
+        element_granularity: bool = False,
+        barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+    ) -> "World":
+        epoch_box = _EpochBox()
+        barrier = threading.Barrier(n_pes, action=epoch_box.increment)
+        return cls(
+            n_pes,
+            barrier=barrier,
+            heap=SymmetricHeap(n_pes),
+            locks=LockTable(threading.Lock),
+            epoch_box=epoch_box,
+            race_detector=(
+                RaceDetector(element_granularity) if race_detection else None
+            ),
+            barrier_timeout=barrier_timeout,
+        )
+
+    @property
+    def epoch(self) -> int:
+        return self.epoch_box.read()
+
+
+class ShmemContext:
+    """A single PE's handle onto the world.  One per SPMD thread/process."""
+
+    def __init__(
+        self,
+        world: World,
+        my_pe: int,
+        *,
+        seed: Optional[int] = None,
+        stdin_lines: Optional[Sequence[str]] = None,
+        trace: bool = False,
+        trace_detail: bool = True,
+    ) -> None:
+        if not 0 <= my_pe < world.n_pes:
+            raise LolParallelError(f"PE id {my_pe} out of range")
+        self.world = world
+        self.my_pe = my_pe
+        # Deterministic per-PE streams: WHATEVR/WHATEVAR are reproducible
+        # for a given (seed, pe), which the tests and benches rely on.
+        self.rng = random.Random((seed if seed is not None else 0xC47) * 7919 + my_pe)
+        self.out_parts: list[str] = []
+        self._stdin = list(stdin_lines or [])
+        self._stdin_pos = 0
+        self.trace: Optional[OpTrace] = (
+            OpTrace(my_pe, detailed=trace_detail) if trace else None
+        )
+
+    # -- identity (ME / MAH FRENZ) ------------------------------------------
+
+    @property
+    def n_pes(self) -> int:
+        return self.world.n_pes
+
+    # -- I/O ------------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        """Sink for VISIBLE output."""
+        self.out_parts.append(text)
+
+    @property
+    def output(self) -> str:
+        return "".join(self.out_parts)
+
+    def read_line(self) -> str:
+        """Source for GIMMEH input (injected per PE for determinism)."""
+        if self._stdin_pos >= len(self._stdin):
+            raise LolRuntimeError(
+                f"GIMMEH on PE {self.my_pe}: no more input lines"
+            )
+        line = self._stdin[self._stdin_pos]
+        self._stdin_pos += 1
+        return line
+
+    # -- symmetric allocation ---------------------------------------------------
+
+    def alloc_scalar(
+        self, name: str, lol_type: Optional[LolType], *, has_lock: bool = False
+    ) -> SymmetricObject:
+        obj = self.world.heap.alloc(name, lol_type, has_lock=has_lock)
+        if has_lock:
+            self.world.locks.register(name)
+        return obj
+
+    def alloc_array(
+        self,
+        name: str,
+        lol_type: Optional[LolType],
+        size: int,
+        *,
+        has_lock: bool = False,
+    ) -> SymmetricObject:
+        obj = self.world.heap.alloc(
+            name, lol_type, is_array=True, size=size, has_lock=has_lock
+        )
+        if has_lock:
+            self.world.locks.register(name)
+        return obj
+
+    def is_symmetric(self, name: str) -> bool:
+        return self.world.heap.contains(name)
+
+    # -- one-sided remote memory access (TXT MAH BFF / UR) ----------------------
+
+    def get(self, symbol: str, target_pe: int, index: Optional[int] = None):
+        """One-sided read from ``target_pe``'s partition (``UR x`` rvalue)."""
+        obj = self._resolve(symbol, target_pe)
+        cell = obj.cell(target_pe)
+        if index is not None:
+            self._require_array(obj, symbol)
+            value = cell.read(int(index))
+            nbytes = _ELEM_BYTES
+        elif obj.is_array:
+            value = cell.read_all()
+            nbytes = cell.nbytes
+        else:
+            value = cell.read()
+            nbytes = _ELEM_BYTES
+        self._note(OpKind.GET, target_pe, nbytes, symbol)
+        self._race(symbol, target_pe, "read", index)
+        return value
+
+    def put(
+        self,
+        symbol: str,
+        value,
+        target_pe: int,
+        index: Optional[int] = None,
+    ) -> None:
+        """One-sided write into ``target_pe``'s partition (``UR x`` lvalue)."""
+        obj = self._resolve(symbol, target_pe)
+        cell = obj.cell(target_pe)
+        if index is not None:
+            self._require_array(obj, symbol)
+            cell.write(int(index), value)
+            nbytes = _ELEM_BYTES
+        elif obj.is_array:
+            cell.write_all(value)
+            nbytes = cell.nbytes
+        else:
+            cell.write(value)
+            nbytes = _ELEM_BYTES
+        self._note(OpKind.PUT, target_pe, nbytes, symbol)
+        self._race(symbol, target_pe, "write", index)
+
+    def local_cell(self, symbol: str):
+        """Direct handle on this PE's own partition of ``symbol``."""
+        return self.world.heap.lookup(symbol).cell(self.my_pe)
+
+    def local_read(self, symbol: str, index: Optional[int] = None):
+        """Read this PE's own partition (plain/``MAH`` reference to a
+        symmetric variable).  Visible to the race detector: a local read
+        racing with a remote put is exactly the Figure 2 bug."""
+        obj = self.world.heap.lookup(symbol)
+        cell = obj.cell(self.my_pe)
+        if index is not None:
+            self._require_array(obj, symbol)
+            value = cell.read(int(index))
+        elif obj.is_array:
+            value = cell.read_all()
+        else:
+            value = cell.read()
+        self._race(symbol, self.my_pe, "read", index)
+        return value
+
+    def local_write(self, symbol: str, value, index: Optional[int] = None) -> None:
+        """Write this PE's own partition (plain/``MAH`` assignment)."""
+        obj = self.world.heap.lookup(symbol)
+        cell = obj.cell(self.my_pe)
+        if index is not None:
+            self._require_array(obj, symbol)
+            cell.write(int(index), value)
+        elif obj.is_array:
+            cell.write_all(value)
+        else:
+            cell.write(value)
+        self._race(symbol, self.my_pe, "write", index)
+
+    # -- synchronisation ----------------------------------------------------------
+
+    def barrier_all(self) -> None:
+        """Collective barrier (``HUGZ``)."""
+        self._note(OpKind.BARRIER, -1, 0, "")
+        try:
+            self.world.barrier.wait(timeout=self.world.barrier_timeout)
+        except threading.BrokenBarrierError as exc:
+            raise LolParallelError(
+                f"HUGZ barrier broken on PE {self.my_pe} (a PE crashed or "
+                f"the program reached the barrier a mismatched number of times)"
+            ) from exc
+
+    def set_lock(self, symbol: str) -> None:
+        """Blocking global lock acquire (``IM SRSLY MESIN WIF``)."""
+        self._note(OpKind.LOCK, -1, 0, symbol)
+        self.world.locks.acquire(
+            symbol, self.my_pe, timeout=self.world.barrier_timeout
+        )
+
+    def test_lock(self, symbol: str) -> bool:
+        """Non-blocking acquire (``IM MESIN WIF ..., O RLY?``) -> WIN/FAIL."""
+        self._note(OpKind.TRYLOCK, -1, 0, symbol)
+        return self.world.locks.try_acquire(symbol, self.my_pe)
+
+    def clear_lock(self, symbol: str) -> None:
+        """Release (``DUN MESIN WIF``)."""
+        self._note(OpKind.UNLOCK, -1, 0, symbol)
+        self.world.locks.release(symbol, self.my_pe)
+
+    def holds_lock(self, symbol: str) -> bool:
+        return self.world.locks.owner(symbol) == self.my_pe
+
+    def wait_until(
+        self,
+        symbol: str,
+        predicate: Callable[[object], bool],
+        *,
+        index: Optional[int] = None,
+        poll_interval: float = 1e-5,
+        timeout: Optional[float] = None,
+    ) -> object:
+        """Point-to-point sync: spin until this PE's copy satisfies
+        ``predicate`` (OpenSHMEM ``shmem_wait_until``)."""
+        deadline = time.monotonic() + (timeout or self.world.barrier_timeout)
+        cell = self.local_cell(symbol)
+        while True:
+            value = cell.read(int(index)) if index is not None else (
+                cell.read_all() if isinstance(cell, ArrayCell) else cell.read()
+            )
+            if predicate(value):
+                return value
+            if time.monotonic() > deadline:
+                raise LolParallelError(
+                    f"wait_until on '{symbol}' timed out on PE {self.my_pe}"
+                )
+            time.sleep(poll_interval)
+
+    # -- atomics -------------------------------------------------------------------
+
+    def atomic_fetch_add(
+        self, symbol: str, value, target_pe: int, index: Optional[int] = None
+    ):
+        obj = self._resolve(symbol, target_pe)
+        cell = obj.cell(target_pe)
+        with self.world.atomic_mutex:
+            if index is not None:
+                old = cell.read(int(index))
+                cell.write(int(index), old + value)
+            else:
+                old = cell.read()
+                cell.write(old + value)
+        self._note(OpKind.ATOMIC, target_pe, _ELEM_BYTES, symbol)
+        self._race(symbol, target_pe, "write", index, locked=True)
+        return old
+
+    def atomic_swap(
+        self, symbol: str, value, target_pe: int, index: Optional[int] = None
+    ):
+        obj = self._resolve(symbol, target_pe)
+        cell = obj.cell(target_pe)
+        with self.world.atomic_mutex:
+            if index is not None:
+                old = cell.read(int(index))
+                cell.write(int(index), value)
+            else:
+                old = cell.read()
+                cell.write(value)
+        self._note(OpKind.ATOMIC, target_pe, _ELEM_BYTES, symbol)
+        self._race(symbol, target_pe, "write", index, locked=True)
+        return old
+
+    def atomic_compare_swap(
+        self, symbol: str, expected, desired, target_pe: int
+    ):
+        obj = self._resolve(symbol, target_pe)
+        cell = obj.cell(target_pe)
+        with self.world.atomic_mutex:
+            old = cell.read()
+            if old == expected:
+                cell.write(desired)
+        self._note(OpKind.ATOMIC, target_pe, _ELEM_BYTES, symbol)
+        self._race(symbol, target_pe, "write", None, locked=True)
+        return old
+
+    # -- collectives -----------------------------------------------------------------
+
+    def broadcast(self, value, root: int = 0):
+        """Broadcast ``value`` from PE ``root`` to every PE; returns it."""
+        if self.my_pe == root:
+            self.world.exchange[root] = value
+        self.barrier_all()
+        result = self.world.exchange[root]
+        self.barrier_all()
+        self._note(OpKind.BCAST, root, _ELEM_BYTES, "")
+        return result
+
+    def allgather(self, value) -> list:
+        """Every PE contributes ``value``; all receive the full list."""
+        self.world.exchange[self.my_pe] = value
+        self.barrier_all()
+        result = list(self.world.exchange)
+        self.barrier_all()
+        self._note(OpKind.BCAST, -1, _ELEM_BYTES * self.n_pes, "")
+        return result
+
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce ``value`` across PEs (sum/min/max/prod); all receive it."""
+        values = self.allgather(value)
+        self._note(OpKind.REDUCE, -1, _ELEM_BYTES, "")
+        if op == "sum":
+            return sum(values)
+        if op == "min":
+            return min(values)
+        if op == "max":
+            return max(values)
+        if op == "prod":
+            out = 1
+            for v in values:
+                out = out * v
+            return out
+        raise LolRuntimeError(f"unknown reduction op {op!r}")
+
+    # -- trace / race plumbing -----------------------------------------------------
+
+    def add_flops(self, n: int) -> None:
+        if self.trace is not None:
+            self.trace.add_flops(n)
+
+    def _note(self, kind: OpKind, dst: int, nbytes: int, symbol: str) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                OpEvent(kind, self.my_pe, dst, nbytes, symbol, self.world.epoch)
+            )
+
+    def _race(
+        self,
+        symbol: str,
+        owner_pe: int,
+        kind: str,
+        element,
+        *,
+        locked: bool = False,
+    ) -> None:
+        det = self.world.race_detector
+        if det is None:
+            return
+        locked = locked or self.holds_lock(symbol)
+        det.on_access(
+            symbol,
+            owner_pe,
+            self.my_pe,
+            kind,
+            self.world.epoch,
+            locked=locked,
+            element=element,
+        )
+
+    def _resolve(self, symbol: str, target_pe: int) -> SymmetricObject:
+        if not 0 <= target_pe < self.n_pes:
+            raise LolParallelError(
+                f"PE {target_pe} out of range [0, {self.n_pes}) "
+                f"(accessing '{symbol}' from PE {self.my_pe})"
+            )
+        return self.world.heap.lookup(symbol)
+
+    @staticmethod
+    def _require_array(obj: SymmetricObject, symbol: str) -> None:
+        if not obj.is_array:
+            raise LolRuntimeError(f"'{symbol}' is not an array")
+
+
+def serial_context(**kwargs) -> ShmemContext:
+    """A 1-PE world for serial interpretation (``loli``): ``ME`` is 0 and
+    ``MAH FRENZ`` is 1, matching a single-PE OpenSHMEM launch."""
+    world = World.for_threads(1)
+    return ShmemContext(world, 0, **kwargs)

@@ -1,0 +1,39 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import run_lolcode
+from repro.interp import run_serial
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_LOL = REPO_ROOT / "examples" / "lol"
+
+
+def lol(body: str) -> str:
+    """Wrap a statement body in HAI/KTHXBYE."""
+    return f"HAI 1.2\n{body}\nKTHXBYE\n"
+
+
+def run1(body: str, **kwargs) -> str:
+    """Run a body serially (1 PE) and return VISIBLE output."""
+    return run_serial(lol(body), **kwargs)
+
+
+def runp(body: str, n_pes: int, **kwargs):
+    """Run a body SPMD on the thread executor; returns SpmdResult."""
+    kwargs.setdefault("seed", 7)
+    return run_lolcode(lol(body), n_pes, **kwargs)
+
+
+@pytest.fixture
+def example_path():
+    def _get(name: str) -> pathlib.Path:
+        path = EXAMPLES_LOL / name
+        assert path.exists(), f"missing example {name}"
+        return path
+
+    return _get

@@ -1,0 +1,189 @@
+"""Tests for the LOLCODE -> Python backend, including differential
+interpreter-vs-compiled checks (same semantics kernels, so outputs must be
+bit-identical)."""
+
+import pytest
+
+from repro import run_lolcode
+from repro.compiler import CompileError, compile_python, load_pe_main, run_compiled
+from repro.shmem import run_spmd
+
+from .conftest import lol
+
+
+def diff_check(body: str, n_pes: int = 1, seed: int = 5, **kwargs):
+    """Run through interpreter and compiled backend; outputs must match."""
+    src = lol(body)
+    ri = run_lolcode(src, n_pes, seed=seed, **kwargs)
+    rc = run_compiled(src, n_pes, seed=seed, **kwargs)
+    assert ri.outputs == rc.outputs, (
+        f"interpreter vs compiled divergence:\n{ri.outputs!r}\n{rc.outputs!r}"
+    )
+    return rc
+
+
+class TestCodegenBasics:
+    def test_generates_pe_main(self):
+        py = compile_python(lol("VISIBLE 1"))
+        assert "def pe_main(ctx):" in py
+        fn = load_pe_main(py)
+        r = run_spmd(fn, 1)
+        assert r.output == "1\n"
+
+    def test_mangled_names_avoid_collisions(self):
+        # A LOLCODE variable named 'ctx' must not clash with the context.
+        py = compile_python(lol("I HAS A ctx ITZ 5\nVISIBLE ctx"))
+        assert "L_ctx" in py
+        fn = load_pe_main(py)
+        assert run_spmd(fn, 1).output == "5\n"
+
+    def test_srs_rejected(self):
+        with pytest.raises(CompileError):
+            compile_python(lol('I HAS A x ITZ 1\nVISIBLE SRS "x"'))
+
+    def test_unknown_function_rejected_at_compile_time(self):
+        with pytest.raises(CompileError):
+            compile_python(lol("I IZ nope MKAY"))
+
+    def test_bad_arity_rejected_at_compile_time(self):
+        with pytest.raises(CompileError):
+            compile_python(
+                lol("HOW IZ I f YR a\n  FOUND YR a\nIF U SAY SO\nI IZ f MKAY")
+            )
+
+    def test_gtfo_outside_any_construct_rejected(self):
+        with pytest.raises(CompileError):
+            compile_python(lol("GTFO"))
+
+    def test_infinite_loop_without_gtfo_rejected(self):
+        with pytest.raises(CompileError):
+            compile_python(lol("IM IN YR x\n  VISIBLE 1\nIM OUTTA YR x"))
+
+
+class TestDifferentialSerial:
+    """Interpreter and compiled backend must agree exactly (1 PE)."""
+
+    CASES = [
+        'VISIBLE "HAI" 42 3.14 WIN',
+        "I HAS A x ITZ 5\nx R SUM OF x AN 2\nVISIBLE x",
+        "I HAS A x ITZ SRSLY A NUMBR\nx R 3.9\nVISIBLE x",
+        "VISIBLE QUOSHUNT OF -7 AN 2\nVISIBLE MOD OF -7 AN 3",
+        "VISIBLE BIGGR OF 3 AN 9\nVISIBLE SMALLR OF 3 AN 9",
+        'VISIBLE SMOOSH "a" AN 1 AN 2.5 AN FAIL MKAY',
+        "VISIBLE MAEK 3.99 A NUMBR\nVISIBLE MAEK 2 A NUMBAR\nVISIBLE MAEK 0 A TROOF",
+        'VISIBLE ALL OF WIN AN 1 AN "x" MKAY\nVISIBLE ANY OF FAIL AN 0 MKAY',
+        "VISIBLE SQUAR OF 7\nVISIBLE UNSQUAR OF 81\nVISIBLE FLIP OF 8",
+        "VISIBLE BOTH SAEM 2 AN 2.0\nVISIBLE DIFFRINT 2 AN 3",
+        "VISIBLE BIGGER 4 AN 2\nVISIBLE SMALLR 4 AN 2",
+        "VISIBLE WON OF WIN AN WIN\nVISIBLE NOT FAIL",
+        "I HAS A x ITZ 2\nBOTH SAEM x AN 2, O RLY?\nYA RLY,\n  VISIBLE 1\nNO WAI\n  VISIBLE 0\nOIC",
+        "I HAS A x ITZ 3\nBOTH SAEM x AN 1, O RLY?\nYA RLY,\n  VISIBLE 1\nMEBBE BOTH SAEM x AN 3\n  VISIBLE 3\nNO WAI\n  VISIBLE 0\nOIC",
+        "2\nWTF?\nOMG 1\n  VISIBLE 1\nOMG 2\n  VISIBLE 2\nOMG 3\n  VISIBLE 3\n  GTFO\nOMGWTF\n  VISIBLE 9\nOIC",
+        "7\nWTF?\nOMG 1\n  VISIBLE 1\nOMGWTF\n  VISIBLE 9\nOIC",
+        "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 5\n  VISIBLE i\nIM OUTTA YR l",
+        "IM IN YR l NERFIN YR i WILE BIGGER i AN -4\n  VISIBLE i\nIM OUTTA YR l",
+        "IM IN YR a UPPIN YR i TIL BOTH SAEM i AN 3\n  IM IN YR b UPPIN YR j TIL BOTH SAEM j AN 2\n    VISIBLE SUM OF PRODUKT OF i AN 10 AN j\n  IM OUTTA YR b\nIM OUTTA YR a",
+        "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 5\na'Z 2 R 42\nVISIBLE a'Z 2 a'Z 0",
+        "I HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 3\na'Z 0 R 1.5\nVISIBLE a'Z 0",
+        "HOW IZ I fact YR n\n  BOTH SAEM n AN 0, O RLY?\n  YA RLY,\n    FOUND YR 1\n  OIC\n  FOUND YR PRODUKT OF n AN I IZ fact YR DIFF OF n AN 1 MKAY\nIF U SAY SO\nVISIBLE I IZ fact YR 6 MKAY",
+        "HOW IZ I f\n  SUM OF 40 AN 2\nIF U SAY SO\nVISIBLE I IZ f MKAY",
+        "I HAS A g ITZ 1\nHOW IZ I bump\n  g R SUM OF g AN 1\n  FOUND YR g\nIF U SAY SO\nVISIBLE I IZ bump MKAY\nVISIBLE g",
+        'I HAS A pe ITZ 7\nVISIBLE "id=:{pe}."',
+        "I HAS A x ITZ 3.5\nx IS NOW A NUMBR\nVISIBLE x",
+        "SUM OF 1 AN 2\nVISIBLE IT",
+        'VISIBLE SUM OF "3" AN "4"\nVISIBLE SUM OF "1.5" AN 1',
+        'VISIBLE "a:)b:>c"',
+        "VISIBLE NOT 0\nVISIBLE NOT 0.0\nVISIBLE NOT \"\"",
+    ]
+
+    @pytest.mark.parametrize("body", CASES, ids=range(len(CASES)))
+    def test_case(self, body):
+        diff_check(body)
+
+
+class TestDifferentialParallel:
+    def test_identity(self):
+        diff_check('VISIBLE ME "/" MAH FRENZ', n_pes=4)
+
+    def test_ring_put(self):
+        body = (
+            "WE HAS A a ITZ SRSLY A NUMBR\n"
+            "WE HAS A b ITZ SRSLY A NUMBR\n"
+            "a R SUM OF ME AN 1\nHUGZ\n"
+            "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+            "TXT MAH BFF k, UR b R MAH a\nHUGZ\n"
+            "VISIBLE SUM OF a AN b"
+        )
+        diff_check(body, n_pes=4)
+
+    def test_whole_array_transfer(self):
+        body = (
+            "WE HAS A array ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 8\n"
+            "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 8\n"
+            "  array'Z i R SUM OF PRODUKT OF ME AN 100 AN i\n"
+            "IM OUTTA YR l\nHUGZ\n"
+            "I HAS A local ITZ LOTZ A NUMBRS AN THAR IZ 8\n"
+            "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+            "TXT MAH BFF k, MAH local R UR array\n"
+            "VISIBLE local'Z 0 \" \" local'Z 7"
+        )
+        diff_check(body, n_pes=3)
+
+    def test_locks(self):
+        body = (
+            "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\nHUGZ\n"
+            "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10\n"
+            "  IM SRSLY MESIN WIF x\n"
+            "  TXT MAH BFF 0, UR x R SUM OF UR x AN 1\n"
+            "  DUN MESIN WIF x\n"
+            "IM OUTTA YR l\nHUGZ\n"
+            "BOTH SAEM ME AN 0, O RLY?\nYA RLY,\n  VISIBLE x\nOIC"
+        )
+        rc = diff_check(body, n_pes=4)
+        assert rc.outputs[0] == "40\n"
+
+    def test_trylock_sets_it(self):
+        body = (
+            "WE HAS A x ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+            "IM MESIN WIF x\nVISIBLE IT\nDUN MESIN WIF x"
+        )
+        diff_check(body, n_pes=1)
+
+    def test_random_streams_match(self):
+        # Both paths draw from ctx.rng, so seeded streams agree.
+        diff_check("VISIBLE WHATEVR\nVISIBLE WHATEVAR", n_pes=3, seed=11)
+
+    def test_block_predication(self):
+        body = (
+            "WE HAS A x ITZ SRSLY A NUMBR\n"
+            "WE HAS A y ITZ SRSLY A NUMBR\n"
+            "x R ME\ny R PRODUKT OF ME AN 2\nHUGZ\n"
+            "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+            "I HAS A s ITZ A NUMBR\n"
+            "TXT MAH BFF k AN STUFF\n"
+            "  s R SUM OF UR x AN UR y\n"
+            "TTYL\n"
+            "VISIBLE s"
+        )
+        diff_check(body, n_pes=4)
+
+    def test_nbody_fixed_matches(self, example_path):
+        src = example_path("nbody2d_fixed.lol").read_text()
+        ri = run_lolcode(src, 2, seed=3)
+        rc = run_compiled(src, 2, seed=3)
+        assert ri.outputs == rc.outputs
+
+
+class TestCompiledOnProcesses:
+    @pytest.mark.procs
+    def test_compiled_process_executor(self):
+        body = (
+            "WE HAS A a ITZ SRSLY A NUMBR\n"
+            "a R PRODUKT OF ME AN 3\nHUGZ\n"
+            "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+            "I HAS A got ITZ A NUMBR\n"
+            "TXT MAH BFF k, got R UR a\n"
+            "VISIBLE got"
+        )
+        r = run_compiled(lol(body), 3, executor="process", barrier_timeout=60)
+        assert r.outputs == ["3\n", "6\n", "0\n"]

@@ -1,0 +1,92 @@
+"""Formatter round-trip tests: parse(format(parse(src))) == parse(src)."""
+
+import pytest
+
+from repro.lang import parse
+from repro.lang.formatter import format_program, format_source
+
+from .conftest import EXAMPLES_LOL, lol
+
+
+def roundtrip(src: str):
+    prog1 = parse(src)
+    formatted = format_program(prog1)
+    prog2 = parse(formatted)
+    assert prog1 == prog2, f"round-trip changed the AST:\n{formatted}"
+    return formatted
+
+
+CASES = [
+    "VISIBLE 1",
+    'VISIBLE "HAI " 42 "!"',
+    'VISIBLE "a :: b :" c :) d :> e"',
+    "I HAS A x",
+    "I HAS A x ITZ 5",
+    "I HAS A x ITZ A NUMBR AN ITZ ME",
+    "I HAS A x ITZ SRSLY A NUMBAR AN ITZ 0.001",
+    "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 32",
+    "WE HAS A p ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32 AN IM SHARIN IT",
+    "x R 5",
+    "arr'Z SUM OF i AN 1 R 5",
+    "x IS NOW A YARN",
+    "GIMMEH x",
+    "CAN HAS STDIO?",
+    "SUM OF 1 AN PRODUKT OF 2 AN 3",
+    "ALL OF WIN AN FAIL AN WIN MKAY",
+    'SMOOSH "a" AN 1 MKAY',
+    "MAEK 3.7 A NUMBR",
+    "NOT BOTH SAEM x AN y",
+    "BIGGER x AN SMALLR y AN z",
+    "WIN, O RLY?\nYA RLY,\n  VISIBLE 1\nMEBBE FAIL\n  VISIBLE 2\nNO WAI\n  VISIBLE 3\nOIC",
+    "1\nWTF?\nOMG 1\n  VISIBLE 1\n  GTFO\nOMGWTF\n  VISIBLE 9\nOIC",
+    "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10\n  VISIBLE i\nIM OUTTA YR l",
+    "IM IN YR l NERFIN YR i WILE BIGGER i AN 0\nIM OUTTA YR l",
+    "IM IN YR l\n  GTFO\nIM OUTTA YR l",
+    "HOW IZ I add YR a AN YR b\n  FOUND YR SUM OF a AN b\nIF U SAY SO\nVISIBLE I IZ add YR 1 AN YR 2 MKAY",
+    "HOW IZ I z\n  FOUND YR 0\nIF U SAY SO\nVISIBLE I IZ z MKAY",
+    "HUGZ",
+    "IM SRSLY MESIN WIF x\nDUN MESIN WIF x",
+    "IM MESIN WIF UR x",
+    "TXT MAH BFF k, MAH x R UR y",
+    "TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ AN STUFF\n  UR x R 1\nTTYL",
+    "VISIBLE WHATEVR WHATEVAR",
+    "VISIBLE SQUAR OF UNSQUAR OF FLIP OF 2",
+    'I HAS A pe ITZ 1\nVISIBLE "id :{pe} done"',
+    'VISIBLE SRS "x"',
+    "IT",
+]
+
+
+@pytest.mark.parametrize("body", CASES, ids=range(len(CASES)))
+def test_roundtrip_case(body):
+    roundtrip(lol(body))
+
+
+@pytest.mark.parametrize(
+    "name", ["nbody2d.lol", "nbody2d_fixed.lol", "ring.lol", "locks.lol", "barrier.lol"]
+)
+def test_roundtrip_examples(name):
+    src = (EXAMPLES_LOL / name).read_text()
+    roundtrip(src)
+
+
+def test_format_is_idempotent():
+    src = (EXAMPLES_LOL / "nbody2d.lol").read_text()
+    once = format_source(src)
+    twice = format_source(once)
+    assert once == twice
+
+
+def test_formatted_output_runs_identically():
+    from repro import run_lolcode
+
+    src = (EXAMPLES_LOL / "barrier.lol").read_text()
+    formatted = format_source(src)
+    r1 = run_lolcode(src, 4, seed=1)
+    r2 = run_lolcode(formatted, 4, seed=1)
+    assert r1.outputs == r2.outputs
+
+
+def test_version_preserved():
+    assert format_source("HAI 1.2\nKTHXBYE\n").startswith("HAI 1.2")
+    assert format_source("HAI\nKTHXBYE\n").startswith("HAI\n")

@@ -1,0 +1,477 @@
+"""Interpreter tests for the core LOLCODE 1.2 semantics (paper Table I)."""
+
+import pytest
+
+from repro.lang.errors import (
+    LolNameError,
+    LolRuntimeError,
+    LolSyntaxError,
+    LolTypeError,
+)
+
+from .conftest import run1
+
+
+class TestVisible:
+    def test_string(self):
+        assert run1('VISIBLE "HAI WORLD"') == "HAI WORLD\n"
+
+    def test_numbr(self):
+        assert run1("VISIBLE 42") == "42\n"
+
+    def test_numbar_two_decimals(self):
+        assert run1("VISIBLE 3.14159") == "3.14\n"
+
+    def test_troof(self):
+        assert run1("VISIBLE WIN") == "WIN\n"
+        assert run1("VISIBLE FAIL") == "FAIL\n"
+
+    def test_noob_prints_empty(self):
+        assert run1("I HAS A x\nVISIBLE x") == "\n"
+
+    def test_concatenation(self):
+        assert run1('VISIBLE "a" 1 "b"') == "a1b\n"
+
+    def test_bang_suppresses_newline(self):
+        assert run1('VISIBLE "x"!\nVISIBLE "y"') == "xy\n"
+
+    def test_interpolation(self):
+        assert run1('I HAS A pe ITZ 3\nVISIBLE "pe=:{pe}!"') == "pe=3!\n"
+
+
+class TestVariables:
+    def test_declare_and_assign(self):
+        assert run1("I HAS A x\nx R 5\nVISIBLE x") == "5\n"
+
+    def test_declare_with_init(self):
+        assert run1("I HAS A x ITZ 7\nVISIBLE x") == "7\n"
+
+    def test_undeclared_read_fails(self):
+        with pytest.raises(LolNameError):
+            run1("VISIBLE nope")
+
+    def test_undeclared_assign_fails(self):
+        with pytest.raises(LolNameError):
+            run1("nope R 5")
+
+    def test_dynamic_retyping(self):
+        assert run1('I HAS A x ITZ 1\nx R "yarn now"\nVISIBLE x') == "yarn now\n"
+
+    def test_uninitialised_is_noob(self):
+        assert run1("I HAS A x\nBOTH SAEM x AN NOOB\nVISIBLE IT") == "WIN\n"
+
+    def test_srs_read(self):
+        assert run1('I HAS A x ITZ 9\nVISIBLE SRS "x"') == "9\n"
+
+    def test_srs_write(self):
+        assert run1('I HAS A x\nSRS "x" R 4\nVISIBLE x') == "4\n"
+
+    def test_srs_computed_name(self):
+        src = (
+            "I HAS A cat1 ITZ 11\n"
+            'I HAS A name ITZ SMOOSH "cat" AN 1 MKAY\n'
+            "VISIBLE SRS name"
+        )
+        assert run1(src) == "11\n"
+
+
+class TestStaticTyping:
+    def test_default_values(self):
+        assert run1("I HAS A x ITZ SRSLY A NUMBR\nVISIBLE x") == "0\n"
+        assert run1("I HAS A x ITZ SRSLY A NUMBAR\nVISIBLE x") == "0.00\n"
+        assert run1("I HAS A x ITZ SRSLY A YARN\nVISIBLE x") == "\n"
+        assert run1("I HAS A x ITZ SRSLY A TROOF\nVISIBLE x") == "FAIL\n"
+
+    def test_numeric_coercion_on_assign(self):
+        assert run1("I HAS A x ITZ SRSLY A NUMBR\nx R 3.9\nVISIBLE x") == "3\n"
+        assert run1("I HAS A x ITZ SRSLY A NUMBAR\nx R 2\nVISIBLE x") == "2.00\n"
+
+    def test_yarn_into_numbr_rejected(self):
+        with pytest.raises(LolTypeError):
+            run1('I HAS A x ITZ SRSLY A NUMBR\nx R "cat"')
+
+    def test_typed_init_coerces(self):
+        assert run1("I HAS A x ITZ A NUMBAR AN ITZ 1\nVISIBLE x") == "1.00\n"
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "src,expected",
+        [
+            ("SUM OF 2 AN 3", "5"),
+            ("DIFF OF 2 AN 3", "-1"),
+            ("PRODUKT OF 4 AN 3", "12"),
+            ("QUOSHUNT OF 7 AN 2", "3"),
+            ("QUOSHUNT OF -7 AN 2", "-3"),  # C truncation toward zero
+            ("MOD OF 7 AN 3", "1"),
+            ("MOD OF -7 AN 3", "-1"),  # C remainder semantics
+            ("BIGGR OF 4 AN 9", "9"),
+            ("SMALLR OF 4 AN 9", "4"),
+        ],
+    )
+    def test_integer_ops(self, src, expected):
+        assert run1(f"VISIBLE {src}") == expected + "\n"
+
+    def test_float_promotion(self):
+        assert run1("VISIBLE SUM OF 1 AN 0.5") == "1.50\n"
+
+    def test_float_division(self):
+        assert run1("VISIBLE QUOSHUNT OF 1.0 AN 4") == "0.25\n"
+
+    def test_yarn_operand_parses(self):
+        assert run1('VISIBLE SUM OF "3" AN 4') == "7\n"
+
+    def test_troof_operand(self):
+        assert run1("VISIBLE SUM OF WIN AN 4") == "5\n"
+
+    def test_division_by_zero(self):
+        with pytest.raises(LolRuntimeError):
+            run1("VISIBLE QUOSHUNT OF 1 AN 0")
+
+    def test_mod_by_zero(self):
+        with pytest.raises(LolRuntimeError):
+            run1("VISIBLE MOD OF 1 AN 0")
+
+    def test_non_numeric_yarn_rejected(self):
+        with pytest.raises(LolTypeError):
+            run1('VISIBLE SUM OF "cat" AN 1')
+
+
+class TestComparisons:
+    def test_both_saem(self):
+        assert run1("VISIBLE BOTH SAEM 2 AN 2") == "WIN\n"
+        assert run1("VISIBLE BOTH SAEM 2 AN 3") == "FAIL\n"
+
+    def test_numeric_cross_type_equality(self):
+        assert run1("VISIBLE BOTH SAEM 2 AN 2.0") == "WIN\n"
+
+    def test_yarn_vs_numbr_not_equal(self):
+        assert run1('VISIBLE BOTH SAEM "2" AN 2') == "FAIL\n"
+
+    def test_diffrint(self):
+        assert run1("VISIBLE DIFFRINT 2 AN 3") == "WIN\n"
+
+    def test_paper_bigger_smallr(self):
+        assert run1("VISIBLE BIGGER 3 AN 2") == "WIN\n"
+        assert run1("VISIBLE SMALLR 3 AN 2") == "FAIL\n"
+
+    def test_yarn_equality(self):
+        assert run1('VISIBLE BOTH SAEM "cat" AN "cat"') == "WIN\n"
+
+
+class TestBooleans:
+    def test_both_of(self):
+        assert run1("VISIBLE BOTH OF WIN AN WIN") == "WIN\n"
+        assert run1("VISIBLE BOTH OF WIN AN FAIL") == "FAIL\n"
+
+    def test_either_of(self):
+        assert run1("VISIBLE EITHER OF FAIL AN WIN") == "WIN\n"
+
+    def test_won_of(self):
+        assert run1("VISIBLE WON OF WIN AN WIN") == "FAIL\n"
+        assert run1("VISIBLE WON OF WIN AN FAIL") == "WIN\n"
+
+    def test_not(self):
+        assert run1("VISIBLE NOT FAIL") == "WIN\n"
+
+    def test_all_any(self):
+        assert run1("VISIBLE ALL OF WIN AN WIN AN FAIL MKAY") == "FAIL\n"
+        assert run1("VISIBLE ANY OF FAIL AN WIN MKAY") == "WIN\n"
+
+    def test_truthiness_casts(self):
+        assert run1("VISIBLE NOT 0") == "WIN\n"
+        assert run1('VISIBLE NOT ""') == "WIN\n"
+        assert run1("VISIBLE NOT 0.0") == "WIN\n"
+        assert run1('VISIBLE NOT "x"') == "FAIL\n"
+
+
+class TestStrings:
+    def test_smoosh(self):
+        assert run1('VISIBLE SMOOSH "a" AN 1 AN WIN MKAY') == "a1WIN\n"
+
+    def test_escape_newline(self):
+        assert run1('VISIBLE "a:)b"') == "a\nb\n"
+
+
+class TestCasting:
+    def test_maek_float_to_int(self):
+        assert run1("VISIBLE MAEK 3.7 A NUMBR") == "3\n"
+
+    def test_maek_yarn_to_numbar(self):
+        assert run1('VISIBLE SUM OF MAEK "2.5" A NUMBAR AN 0') == "2.50\n"
+
+    def test_maek_to_troof(self):
+        assert run1("VISIBLE MAEK 0 A TROOF") == "FAIL\n"
+        assert run1("VISIBLE MAEK 5 A TROOF") == "WIN\n"
+
+    def test_is_now_a(self):
+        assert run1("I HAS A x ITZ 3.9\nx IS NOW A NUMBR\nVISIBLE x") == "3\n"
+
+    def test_maek_noob_explicit(self):
+        assert run1("VISIBLE MAEK NOOB A NUMBR") == "0\n"
+
+    def test_bad_yarn_cast(self):
+        with pytest.raises(LolTypeError):
+            run1('VISIBLE MAEK "dog" A NUMBR')
+
+
+class TestIt:
+    def test_bare_expression_sets_it(self):
+        assert run1("SUM OF 1 AN 2\nVISIBLE IT") == "3\n"
+
+    def test_it_starts_noob(self):
+        assert run1("BOTH SAEM IT AN NOOB\nVISIBLE IT") == "WIN\n"
+
+
+class TestIfElse:
+    def test_ya_rly(self):
+        assert run1('WIN, O RLY?\nYA RLY,\n  VISIBLE "y"\nNO WAI\n  VISIBLE "n"\nOIC') == "y\n"
+
+    def test_no_wai(self):
+        assert run1('FAIL, O RLY?\nYA RLY,\n  VISIBLE "y"\nNO WAI\n  VISIBLE "n"\nOIC') == "n\n"
+
+    def test_mebbe(self):
+        src = (
+            "I HAS A x ITZ 2\n"
+            "BOTH SAEM x AN 1, O RLY?\n"
+            "YA RLY,\n  VISIBLE 1\n"
+            "MEBBE BOTH SAEM x AN 2\n  VISIBLE 2\n"
+            "NO WAI\n  VISIBLE 3\nOIC"
+        )
+        assert run1(src) == "2\n"
+
+    def test_condition_casts_to_troof(self):
+        assert run1('5, O RLY?\nYA RLY,\n  VISIBLE "t"\nOIC') == "t\n"
+
+
+class TestSwitch:
+    def test_match_with_gtfo(self):
+        src = (
+            "I HAS A x ITZ 2\nx\nWTF?\n"
+            "OMG 1\n  VISIBLE 1\n  GTFO\n"
+            "OMG 2\n  VISIBLE 2\n  GTFO\n"
+            "OMGWTF\n  VISIBLE 9\nOIC"
+        )
+        assert run1(src) == "2\n"
+
+    def test_fallthrough(self):
+        src = (
+            "1\nWTF?\n"
+            "OMG 1\n  VISIBLE 1\n"
+            "OMG 2\n  VISIBLE 2\n  GTFO\n"
+            "OMGWTF\n  VISIBLE 9\nOIC"
+        )
+        assert run1(src) == "1\n2\n"
+
+    def test_default(self):
+        src = "99\nWTF?\nOMG 1\n  VISIBLE 1\nOMGWTF\n  VISIBLE 9\nOIC"
+        assert run1(src) == "9\n"
+
+    def test_yarn_cases(self):
+        src = '"b"\nWTF?\nOMG "a"\n  VISIBLE 1\n  GTFO\nOMG "b"\n  VISIBLE 2\n  GTFO\nOIC'
+        assert run1(src) == "2\n"
+
+
+class TestLoops:
+    def test_uppin_til(self):
+        src = (
+            "IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 3\n"
+            "  VISIBLE i\nIM OUTTA YR loop"
+        )
+        assert run1(src) == "0\n1\n2\n"
+
+    def test_nerfin_wile(self):
+        src = (
+            "I HAS A i\n"
+            "IM IN YR loop NERFIN YR j WILE BIGGER j AN -3\n"
+            "  VISIBLE j\nIM OUTTA YR loop"
+        )
+        assert run1(src) == "0\n-1\n-2\n"
+
+    def test_gtfo_breaks(self):
+        src = (
+            "IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 100\n"
+            "  BOTH SAEM i AN 2, O RLY?\n  YA RLY,\n    GTFO\n  OIC\n"
+            "  VISIBLE i\nIM OUTTA YR loop"
+        )
+        assert run1(src) == "0\n1\n"
+
+    def test_loop_var_is_loop_local(self):
+        src = (
+            "I HAS A i ITZ 99\n"
+            "IM IN YR loop UPPIN YR i TIL BOTH SAEM i AN 2\nIM OUTTA YR loop\n"
+            "VISIBLE i"
+        )
+        assert run1(src) == "99\n"
+
+    def test_body_never_runs_if_til_true(self):
+        src = (
+            "IM IN YR loop UPPIN YR i TIL WIN\n  VISIBLE i\nIM OUTTA YR loop\n"
+            'VISIBLE "done"'
+        )
+        assert run1(src) == "done\n"
+
+    def test_infinite_loop_without_gtfo_rejected(self):
+        with pytest.raises(LolRuntimeError):
+            run1("IM IN YR loop\n  VISIBLE 1\nIM OUTTA YR loop", max_steps=50)
+
+    def test_nested_loop_counters(self):
+        src = (
+            "IM IN YR outer UPPIN YR i TIL BOTH SAEM i AN 2\n"
+            "  IM IN YR inner UPPIN YR j TIL BOTH SAEM j AN 2\n"
+            '    VISIBLE i "-" j\n'
+            "  IM OUTTA YR inner\n"
+            "IM OUTTA YR outer"
+        )
+        assert run1(src) == "0-0\n0-1\n1-0\n1-1\n"
+
+
+class TestFunctions:
+    def test_found_yr(self):
+        src = (
+            "HOW IZ I add YR a AN YR b\n  FOUND YR SUM OF a AN b\nIF U SAY SO\n"
+            "VISIBLE I IZ add YR 2 AN YR 3 MKAY"
+        )
+        assert run1(src) == "5\n"
+
+    def test_call_before_definition(self):
+        src = (
+            "VISIBLE I IZ two MKAY\n"
+            "HOW IZ I two\n  FOUND YR 2\nIF U SAY SO"
+        )
+        assert run1(src) == "2\n"
+
+    def test_fallthrough_returns_it(self):
+        src = "HOW IZ I f\n  SUM OF 1 AN 1\nIF U SAY SO\nVISIBLE I IZ f MKAY"
+        assert run1(src) == "2\n"
+
+    def test_gtfo_returns_noob(self):
+        src = (
+            "HOW IZ I f\n  GTFO\n  FOUND YR 1\nIF U SAY SO\n"
+            "VISIBLE BOTH SAEM I IZ f MKAY AN NOOB"
+        )
+        assert run1(src) == "WIN\n"
+
+    def test_params_shadow_globals(self):
+        src = (
+            "I HAS A a ITZ 10\n"
+            "HOW IZ I f YR a\n  FOUND YR a\nIF U SAY SO\n"
+            "VISIBLE I IZ f YR 1 MKAY\nVISIBLE a"
+        )
+        assert run1(src) == "1\n10\n"
+
+    def test_globals_readable_in_function(self):
+        src = (
+            "I HAS A g ITZ 5\n"
+            "HOW IZ I f\n  FOUND YR g\nIF U SAY SO\n"
+            "VISIBLE I IZ f MKAY"
+        )
+        assert run1(src) == "5\n"
+
+    def test_wrong_arity(self):
+        src = "HOW IZ I f YR a\n  FOUND YR a\nIF U SAY SO\nI IZ f MKAY"
+        with pytest.raises(LolRuntimeError):
+            run1(src)
+
+    def test_unknown_function(self):
+        with pytest.raises(LolNameError):
+            run1("I IZ nope MKAY")
+
+    def test_recursion(self):
+        src = (
+            "HOW IZ I fact YR n\n"
+            "  BOTH SAEM n AN 0, O RLY?\n"
+            "  YA RLY,\n    FOUND YR 1\n"
+            "  OIC\n"
+            "  FOUND YR PRODUKT OF n AN I IZ fact YR DIFF OF n AN 1 MKAY\n"
+            "IF U SAY SO\n"
+            "VISIBLE I IZ fact YR 5 MKAY"
+        )
+        assert run1(src) == "120\n"
+
+    def test_it_saved_across_call(self):
+        src = (
+            "HOW IZ I f\n  99\nIF U SAY SO\n"
+            "42\nI IZ f MKAY\nVISIBLE IT"
+        )
+        # The call's body sets the callee's IT; the caller's IT becomes
+        # the call's value (expression statement), which is 99 here via
+        # fallthrough. So IT is 99.
+        assert run1(src) == "99\n"
+
+
+class TestArrays:
+    def test_local_array_rw(self):
+        src = (
+            "I HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\n"
+            "a'Z 0 R 10\na'Z 3 R 13\nVISIBLE a'Z 0 " " a'Z 3"
+        )
+        assert run1(src) == "1013\n"
+
+    def test_array_default_zero(self):
+        src = "I HAS A a ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 2\nVISIBLE a'Z 1"
+        assert run1(src) == "0.00\n"
+
+    def test_index_out_of_range(self):
+        src = "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\nVISIBLE a'Z 5"
+        with pytest.raises(LolRuntimeError):
+            run1(src)
+
+    def test_negative_index_rejected(self):
+        src = "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\nVISIBLE a'Z -1"
+        with pytest.raises(LolRuntimeError):
+            run1(src)
+
+    def test_element_type_coercion(self):
+        src = "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\na'Z 0 R 2.9\nVISIBLE a'Z 0"
+        assert run1(src) == "2\n"
+
+    def test_yarn_array(self):
+        src = (
+            "I HAS A a ITZ LOTZ A YARNS AN THAR IZ 2\n"
+            'a\'Z 0 R "cat"\nVISIBLE a\'Z 0'
+        )
+        assert run1(src) == "cat\n"
+
+    def test_dynamic_size(self):
+        src = (
+            "I HAS A n ITZ 3\n"
+            "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ SUM OF n AN 1\n"
+            "a'Z 3 R 7\nVISIBLE a'Z 3"
+        )
+        assert run1(src) == "7\n"
+
+    def test_scalar_read_of_array_rejected(self):
+        src = "I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2\nVISIBLE SUM OF a AN 1"
+        with pytest.raises(LolTypeError):
+            run1(src)
+
+    def test_indexing_scalar_rejected(self):
+        src = "I HAS A x ITZ 5\nVISIBLE x'Z 0"
+        with pytest.raises(LolTypeError):
+            run1(src)
+
+
+class TestCanHas:
+    def test_known_libraries(self):
+        assert run1("CAN HAS STDIO?\nVISIBLE 1") == "1\n"
+
+    def test_unknown_library(self):
+        with pytest.raises(LolRuntimeError):
+            run1("CAN HAS WINDOWS?")
+
+
+class TestGimmeh:
+    def test_reads_yarn(self):
+        from repro import run_lolcode
+
+        result = run_lolcode(
+            'HAI 1.2\nI HAS A x\nGIMMEH x\nVISIBLE "got " x\nKTHXBYE',
+            1,
+            stdin_lines=[["hello"]],
+        )
+        assert result.output == "got hello\n"
+
+    def test_exhausted_input(self):
+        with pytest.raises(LolRuntimeError):
+            run1("I HAS A x\nGIMMEH x")

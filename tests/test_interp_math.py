@@ -1,0 +1,94 @@
+"""Tests for the Table III extensions: WHATEVR, WHATEVAR, SQUAR OF,
+UNSQUAR OF, FLIP OF — plus their use in the n-body kernel shape."""
+
+import math
+
+import pytest
+
+from repro.lang.errors import LolRuntimeError
+
+from .conftest import run1, runp
+
+
+class TestRandom:
+    def test_whatevr_is_nonnegative_int(self):
+        out = run1("I HAS A r ITZ WHATEVR\nVISIBLE BOTH SAEM r AN MAEK r A NUMBR")
+        assert out == "WIN\n"
+
+    def test_whatevr_range(self):
+        # rand() semantics: 0 <= r < 2^31-1
+        out = run1(
+            "I HAS A r ITZ WHATEVR\n"
+            "VISIBLE BOTH OF NOT SMALLR r AN 0 AN SMALLR r AN 2147483647"
+        )
+        assert out == "WIN\n"
+
+    def test_whatevar_in_unit_interval(self):
+        out = run1(
+            "I HAS A r ITZ WHATEVAR\n"
+            "VISIBLE BOTH OF NOT SMALLR r AN 0.0 AN SMALLR r AN 1.0"
+        )
+        assert out == "WIN\n"
+
+    def test_sequences_differ(self):
+        out = run1("VISIBLE DIFFRINT WHATEVAR AN WHATEVAR")
+        assert out == "WIN\n"
+
+
+class TestMathOps:
+    def test_squar_of_int_stays_int(self):
+        assert run1("VISIBLE SQUAR OF 5") == "25\n"
+
+    def test_squar_of_float(self):
+        assert run1("VISIBLE SQUAR OF 1.5") == "2.25\n"
+
+    def test_unsquar_of(self):
+        assert run1("VISIBLE UNSQUAR OF 16") == "4.00\n"
+
+    def test_unsquar_of_non_perfect(self):
+        out = float(run1("VISIBLE UNSQUAR OF 2"))
+        assert abs(out - math.sqrt(2)) < 0.01
+
+    def test_unsquar_negative_rejected(self):
+        with pytest.raises(LolRuntimeError):
+            run1("VISIBLE UNSQUAR OF -1")
+
+    def test_flip_of(self):
+        assert run1("VISIBLE FLIP OF 4") == "0.25\n"
+
+    def test_flip_of_zero_rejected(self):
+        with pytest.raises(LolRuntimeError):
+            run1("VISIBLE FLIP OF 0")
+
+    def test_flip_of_flip(self):
+        assert run1("VISIBLE FLIP OF FLIP OF 8") == "8.00\n"
+
+    def test_inverse_square_law_shape(self):
+        # The n-body inner kernel: f = (1/d) * (1/d)^2 = d^-3
+        src = (
+            "I HAS A d ITZ 2.0\n"
+            "I HAS A inv_d ITZ FLIP OF UNSQUAR OF SQUAR OF d\n"
+            "I HAS A f ITZ PRODUKT OF inv_d AN SQUAR OF inv_d\n"
+            "VISIBLE f"
+        )
+        assert run1(src) == "0.12\n"  # 1/8 = 0.125 -> "0.12" (2 dp)
+
+    def test_composition_with_sum(self):
+        # FLIP OF UNSQUAR OF SUM OF dx AN dy (exactly the n-body line)
+        src = (
+            "I HAS A dx ITZ 9.0\nI HAS A dy ITZ 16.0\n"
+            "VISIBLE FLIP OF UNSQUAR OF SUM OF dx AN dy"
+        )
+        assert run1(src) == "0.20\n"
+
+
+class TestSeededStreams:
+    def test_pe_streams_deterministic(self):
+        r1 = runp("VISIBLE WHATEVAR", 4, seed=99)
+        r2 = runp("VISIBLE WHATEVAR", 4, seed=99)
+        assert r1.outputs == r2.outputs
+
+    def test_seed_changes_stream(self):
+        r1 = runp("VISIBLE WHATEVR", 2, seed=1)
+        r2 = runp("VISIBLE WHATEVR", 2, seed=2)
+        assert r1.outputs != r2.outputs

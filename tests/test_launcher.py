@@ -1,0 +1,65 @@
+"""Tests for the SPMD launcher (repro.launcher.spmd)."""
+
+import pytest
+
+from repro import run_file, run_lolcode
+from repro.lang.errors import LolParallelError, LolSyntaxError
+
+from .conftest import lol
+
+
+class TestRunLolcode:
+    def test_default_single_pe(self):
+        assert run_lolcode(lol("VISIBLE MAH FRENZ")).output == "1\n"
+
+    def test_unknown_executor(self):
+        with pytest.raises(LolParallelError):
+            run_lolcode(lol("VISIBLE 1"), 1, executor="gpu")
+
+    def test_serial_executor_requires_one_pe(self):
+        with pytest.raises(LolParallelError):
+            run_lolcode(lol("VISIBLE 1"), 2, executor="serial")
+
+    def test_syntax_error_raised_before_spawn(self):
+        with pytest.raises(LolSyntaxError):
+            run_lolcode("HAI 1.2\nI HAS A\nKTHXBYE\n", 4)
+
+    def test_filename_in_errors(self):
+        try:
+            run_lolcode("HAI 1.2\nI HAS A\nKTHXBYE\n", 1, filename="prog.lol")
+        except LolSyntaxError as exc:
+            assert exc.pos.filename == "prog.lol"
+        else:  # pragma: no cover
+            pytest.fail("expected LolSyntaxError")
+
+    def test_run_file(self, tmp_path):
+        p = tmp_path / "t.lol"
+        p.write_text(lol("VISIBLE ME"))
+        r = run_file(str(p), n_pes=2)
+        assert r.outputs == ["0\n", "1\n"]
+
+    def test_max_steps_propagates(self):
+        from repro.lang.errors import LolRuntimeError
+
+        with pytest.raises((LolRuntimeError, LolParallelError)):
+            run_lolcode(
+                lol("IM IN YR l UPPIN YR i WILE WIN\nIM OUTTA YR l"),
+                1,
+                max_steps=100,
+            )
+
+    def test_result_metadata(self):
+        r = run_lolcode(
+            lol("WE HAS A x ITZ SRSLY A NUMBR\nVISIBLE 1"), 2, seed=1
+        )
+        assert r.n_pes == 2
+        assert r.heap_symbols == ["x"]
+        assert len(r.outputs) == 2
+
+    def test_trace_disabled_by_default(self):
+        r = run_lolcode(lol("VISIBLE 1"), 2)
+        assert r.trace is None
+
+    def test_output_property_concatenates_in_pe_order(self):
+        r = run_lolcode(lol("VISIBLE ME"), 3)
+        assert r.output == "0\n1\n2\n"

@@ -1,0 +1,154 @@
+"""Tests for the NoC topology and machine cost models."""
+
+import pytest
+
+from repro import run_lolcode
+from repro.lang.errors import LolRuntimeError
+from repro.noc import (
+    LinkTraffic,
+    Mesh2D,
+    cray_xc40,
+    epiphany_iii,
+    estimate,
+    ideal_crossbar,
+    link_traffic_from_trace,
+    local_vs_remote_ratio,
+    python_host,
+    registry,
+    square_mesh_for,
+)
+
+from .conftest import lol
+
+
+class TestMesh:
+    def test_coords_row_major(self):
+        m = Mesh2D(4, 4)
+        assert m.coords(0) == (0, 0)
+        assert m.coords(5) == (1, 1)
+        assert m.coords(15) == (3, 3)
+
+    def test_hops_manhattan(self):
+        m = Mesh2D(4, 4)
+        assert m.hops(0, 0) == 0
+        assert m.hops(0, 3) == 3
+        assert m.hops(0, 15) == 6  # corner to corner = diameter
+
+    def test_diameter(self):
+        assert Mesh2D(4, 4).max_hops() == 6
+        assert Mesh2D(1, 1).max_hops() == 0
+
+    def test_xy_route_x_first(self):
+        m = Mesh2D(4, 4)
+        route = m.xy_route(0, 5)  # (0,0) -> (1,1)
+        assert route == [0, 1, 5]  # east along row 0, then south
+
+    def test_route_links_count_equals_hops(self):
+        m = Mesh2D(4, 4)
+        for src, dst in [(0, 15), (3, 12), (5, 10)]:
+            assert len(m.route_links(src, dst)) == m.hops(src, dst)
+
+    def test_average_hops_sane(self):
+        m = Mesh2D(4, 4)
+        avg = m.average_hops()
+        assert 0 < avg < m.max_hops()
+
+    def test_out_of_range(self):
+        with pytest.raises(LolRuntimeError):
+            Mesh2D(2, 2).coords(4)
+
+    def test_square_mesh_for(self):
+        assert (square_mesh_for(16).rows, square_mesh_for(16).cols) == (4, 4)
+        assert square_mesh_for(1).n_nodes == 1
+        assert square_mesh_for(5).n_nodes >= 5
+        assert square_mesh_for(12).n_nodes >= 12
+
+    def test_link_traffic(self):
+        m = Mesh2D(2, 2)
+        t = LinkTraffic(m)
+        t.add_transfer(0, 3, 100)  # 2 hops
+        assert t.total_link_bytes() == 200
+        link, hot = t.hottest_link()
+        assert hot == 100
+
+
+class TestMachineModels:
+    def test_registry(self):
+        machines = registry()
+        assert {"epiphany", "cray-xc40", "python-host"} <= set(machines)
+
+    def test_epiphany_has_mesh(self):
+        m = epiphany_iii()
+        assert m.mesh is not None and m.mesh.n_nodes == 16
+
+    def test_cray_is_flat(self):
+        assert cray_xc40().mesh is None
+
+    def test_put_cheaper_than_get_on_epiphany(self):
+        m = epiphany_iii()
+        assert m.put_time(0, 15, 8) < m.get_time(0, 15, 8)
+
+    def test_latency_hierarchy(self):
+        # Epiphany on-chip latency << Cray network latency.
+        assert epiphany_iii().put_time(0, 1, 8) < cray_xc40().put_time(0, 1, 8)
+
+    def test_barrier_grows_with_pes(self):
+        m = cray_xc40()
+        assert m.barrier_time(2) < m.barrier_time(1024)
+
+    def test_figure1_asymmetry(self):
+        # The PGAS model's core teaching point: remote >> local.
+        assert local_vs_remote_ratio(epiphany_iii()) > 10
+        assert local_vs_remote_ratio(cray_xc40()) > 100
+
+    def test_ideal_crossbar_not_slower(self):
+        base = epiphany_iii()
+        ideal = ideal_crossbar(base)
+        assert ideal.put_time(0, 15, 8) <= base.put_time(0, 15, 8)
+        assert ideal.hop_latency == 0.0
+
+
+class TestTraceReplay:
+    def _trace(self, n_pes=4):
+        body = (
+            "WE HAS A a ITZ SRSLY A NUMBR\n"
+            "WE HAS A b ITZ SRSLY A NUMBR\n"
+            "a R ME\nHUGZ\n"
+            "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+            "TXT MAH BFF k, UR b R MAH a\nHUGZ\n"
+            "I HAS A c ITZ SUM OF a AN b\nVISIBLE c"
+        )
+        return run_lolcode(lol(body), n_pes, seed=1, trace=True).trace
+
+    def test_estimate_structure(self):
+        trace = self._trace()
+        est = estimate(trace, epiphany_iii())
+        assert est.n_pes == 4
+        assert len(est.per_pe) == 4
+        assert est.makespan_s > 0
+
+    def test_row_keys(self):
+        est = estimate(self._trace(), cray_xc40())
+        row = est.row()
+        assert {"machine", "n_pes", "makespan_s", "comm_frac"} <= set(row)
+
+    def test_more_pes_more_barrier_cost(self):
+        e2 = estimate(self._trace(2), cray_xc40())
+        e8 = estimate(self._trace(8), cray_xc40())
+        assert e8.sync_s > e2.sync_s * 0.99  # barrier scales with log(n)
+
+    def test_comm_dominates_on_network_for_tiny_compute(self):
+        est = estimate(self._trace(), cray_xc40())
+        assert est.comm_fraction() > 0.5
+
+    def test_link_traffic_from_trace(self):
+        trace = self._trace(4)
+        mesh = Mesh2D(2, 2)
+        traffic = link_traffic_from_trace(trace, mesh)
+        assert traffic.total_link_bytes() > 0
+
+    def test_python_host_model_order_of_magnitude(self):
+        # The calibration model should put the barrier example well under
+        # a second of modeled time — it runs in milliseconds in reality.
+        est = estimate(self._trace(), python_host())
+        assert est.makespan_s < 1.0

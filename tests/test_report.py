@@ -1,0 +1,72 @@
+"""Tests for the trace report tool (repro.noc.report)."""
+
+from repro import run_lolcode
+from repro.noc import epiphany_iii
+from repro.noc.report import (
+    comm_matrix,
+    render_activity,
+    render_comm_matrix,
+    render_machine_costs,
+    render_report,
+)
+
+from .conftest import lol
+
+RING = lol(
+    "WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\n"
+    "HUGZ\n"
+    "I HAS A k ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+    "I HAS A local ITZ LOTZ A NUMBRS AN THAR IZ 4\n"
+    "TXT MAH BFF k, MAH local R UR a\n"
+)
+
+
+def traced(n_pes=4):
+    return run_lolcode(RING, n_pes, seed=1, trace=True).trace
+
+
+class TestCommMatrix:
+    def test_ring_pattern(self):
+        m = comm_matrix(traced(4))
+        # PE i gets 4*8 bytes from PE i+1, nothing else.
+        for src in range(4):
+            for dst in range(4):
+                expected = 32 if dst == (src + 1) % 4 else 0
+                assert m[src][dst] == expected
+
+    def test_self_transfers_excluded(self):
+        src = lol(
+            "WE HAS A x ITZ SRSLY A NUMBR\n"
+            "TXT MAH BFF ME, UR x R 1\n"
+        )
+        trace = run_lolcode(src, 2, seed=1, trace=True).trace
+        m = comm_matrix(trace)
+        assert all(m[i][i] == 0 for i in range(2))
+
+    def test_render_contains_all_pes(self):
+        text = render_comm_matrix(traced(3))
+        for pe in range(3):
+            assert f"PE{pe}" in text
+
+
+class TestActivity:
+    def test_rows_per_pe(self):
+        text = render_activity(traced(4))
+        assert len([l for l in text.splitlines() if l.strip().startswith(tuple("0123"))]) == 4
+
+    def test_counts_present(self):
+        text = render_activity(traced(2))
+        assert "gets" in text and "barriers" in text
+
+
+class TestFullReport:
+    def test_report_sections(self):
+        text = render_report(traced(2), [epiphany_iii()])
+        assert "per-PE activity" in text
+        assert "communication matrix" in text
+        assert "modeled cost" in text
+        assert "Epiphany" in text
+
+    def test_machine_costs_render(self):
+        text = render_machine_costs(traced(2), [epiphany_iii()])
+        assert "ms" in text
