@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Engine-tagged benchmark runner: writes ``BENCH_interp.json``.
+
+Times the paper's kernels through every execution path — the ``ast``
+tree-walker, the ``closure`` engine (default since this file appeared),
+and the compiled-Python backend — and records wall-clock plus speedups
+vs the tree-walker, so the interpreter performance trajectory is tracked
+from PR to PR::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--reps 5] [--out BENCH_interp.json]
+
+The JSON schema (one entry per bench x engine)::
+
+    {"meta": {...}, "results": [
+        {"bench": "nbody_8p2s", "engine": "closure", "n_pes": 2,
+         "seconds": 0.004, "speedup_vs_ast": 3.9}, ...]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import run_lolcode  # noqa: E402
+from repro.compiler import compile_python, load_pe_main  # noqa: E402
+from repro.shmem import run_spmd  # noqa: E402
+
+sys.path.insert(0, str(REPO_ROOT))
+from benchmarks.conftest import lol, nbody_source  # noqa: E402
+
+BARRIER_SRC = (REPO_ROOT / "examples" / "lol" / "barrier.lol").read_text()
+LOCKS_SRC = (REPO_ROOT / "examples" / "lol" / "locks.lol").read_text()
+
+MATH_KERNEL = lol(
+    "I HAS A acc ITZ 0.0\n"
+    "IM IN YR k UPPIN YR i TIL BOTH SAEM i AN 3000\n"
+    "  acc R SUM OF acc AN FLIP OF UNSQUAR OF SUM OF PRODUKT OF i AN i AN 1.0\n"
+    "IM OUTTA YR k\n"
+    "VISIBLE acc"
+)
+
+#: (name, source, n_pes) benchmark matrix.
+BENCHES = [
+    ("nbody_8p2s", nbody_source(8, 2), 2),
+    ("nbody_16p2s", nbody_source(16, 2), 2),
+    ("math_kernel", MATH_KERNEL, 1),
+    ("barrier", BARRIER_SRC, 4),
+    ("locks", LOCKS_SRC, 4),
+]
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benches(reps: int) -> list[dict]:
+    results: list[dict] = []
+    for name, src, n_pes in BENCHES:
+        timings: dict[str, float] = {}
+        for engine in ("ast", "closure"):
+            fn = lambda: run_lolcode(src, n_pes, seed=42, engine=engine)  # noqa: E731
+            fn()  # warm parse/compile caches
+            timings[engine] = _best_of(fn, reps)
+        pe_main = load_pe_main(compile_python(src))
+        fn = lambda: run_spmd(pe_main, n_pes, seed=42)  # noqa: E731
+        fn()
+        timings["py_backend"] = _best_of(fn, reps)
+        for engine, seconds in timings.items():
+            results.append(
+                {
+                    "bench": name,
+                    "engine": engine,
+                    "n_pes": n_pes,
+                    "seconds": round(seconds, 6),
+                    "speedup_vs_ast": round(timings["ast"] / seconds, 3),
+                }
+            )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5, help="best-of reps")
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_interp.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benches(args.reps)
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "reps": args.reps,
+            "note": "seconds = best-of-reps wall clock via run_lolcode/run_spmd",
+        },
+        "results": results,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(r["bench"]) for r in results)
+    print(f"{'bench':<{width}} {'engine':>10} {'PEs':>4} {'seconds':>10} {'vs ast':>8}")
+    for r in results:
+        print(
+            f"{r['bench']:<{width}} {r['engine']:>10} {r['n_pes']:>4} "
+            f"{r['seconds']:>10.4f} {r['speedup_vs_ast']:>7.2f}x"
+        )
+    closure_nbody = [
+        r
+        for r in results
+        if r["engine"] == "closure" and r["bench"].startswith("nbody")
+    ]
+    worst = min(r["speedup_vs_ast"] for r in closure_nbody)
+    print(f"\nclosure engine vs tree-walker on n-body: worst {worst:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,12 +46,20 @@ def test_compile_and_load(benchmark):
 
 def test_interpreter_vs_compiler_speedup():
     """Paper: 'Using a compiler for LOLCODE is more flexible and
-    efficient than an interpreter.'  Measure both paths end to end."""
+    efficient than an interpreter.'  Measure the paths end to end: the
+    paper's claim is about *tree-walking* interpretation, so that is the
+    baseline; the closure engine (this repo's default) is measured as a
+    third row — it closes most of the gap while staying an interpreter."""
     # warm-up + measure
-    run_lolcode(SRC, 2, seed=42)
+    run_lolcode(SRC, 2, seed=42, engine="ast")
     t0 = time.perf_counter()
-    run_lolcode(SRC, 2, seed=42)
+    run_lolcode(SRC, 2, seed=42, engine="ast")
     t_interp = time.perf_counter() - t0
+
+    run_lolcode(SRC, 2, seed=42, engine="closure")
+    t0 = time.perf_counter()
+    run_lolcode(SRC, 2, seed=42, engine="closure")
+    t_closure = time.perf_counter() - t0
 
     pe_main = load_pe_main(compile_python(SRC))
     run_spmd(pe_main, 2, seed=42)
@@ -64,12 +72,13 @@ def test_interpreter_vs_compiler_speedup():
         "Section VI.E: interpreter vs compiled execution (n-body kernel)",
         ["path", "seconds", "speedup"],
         [
-            ["interpreter (loli-style)", f"{t_interp:.4f}", "1.00x"],
+            ["tree-walker (loli-style)", f"{t_interp:.4f}", "1.00x"],
+            ["closure engine (default)", f"{t_closure:.4f}", f"{t_interp / t_closure:.2f}x"],
             ["compiled (lcc-style)", f"{t_compiled:.4f}", f"{speedup:.2f}x"],
         ],
     )
     assert speedup > 1.0, (
-        f"compiled path must beat the interpreter, got {speedup:.2f}x"
+        f"compiled path must beat the tree-walker, got {speedup:.2f}x"
     )
 
 

@@ -90,8 +90,16 @@ def test_nbody_compute_scales_with_particles():
 
 
 @pytest.mark.benchmark(group="nbody")
-def test_nbody_interpreter_wallclock(benchmark):
-    benchmark(lambda: run_lolcode(SRC, 2, seed=42))
+def test_nbody_treewalker_wallclock(benchmark):
+    benchmark(lambda: run_lolcode(SRC, 2, seed=42, engine="ast"))
+
+
+@pytest.mark.benchmark(group="nbody")
+def test_nbody_closure_engine_wallclock(benchmark):
+    """The closure engine (the default) must bury the tree-walker on the
+    same kernel at the same PE count; the ratio is tracked run-over-run
+    in BENCH_interp.json (see benchmarks/run_all.py)."""
+    benchmark(lambda: run_lolcode(SRC, 2, seed=42, engine="closure"))
 
 
 @pytest.mark.benchmark(group="nbody")

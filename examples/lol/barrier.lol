@@ -1,0 +1,17 @@
+HAI 1.2
+BTW Section VI.C / Figure 2 - barriers make message passing
+BTW deterministic: each PE publishes a, waits at HUGZ, then reads teh
+BTW left neighbor's a.  Wifout teh barrier a fast PE reads b before
+BTW teh neighbor's write has landed.
+CAN HAS STDIO?
+WE HAS A a ITZ SRSLY A NUMBR
+I HAS A pe ITZ A NUMBR AN ITZ ME
+a R SUM OF pe AN 1
+HUGZ
+I HAS A left ITZ A NUMBR ...
+  AN ITZ MOD OF SUM OF pe AN DIFF OF MAH FRENZ AN 1 AN MAH FRENZ
+I HAS A b ITZ A NUMBR
+TXT MAH BFF left, b R UR a
+I HAS A c ITZ SUM OF a AN b
+VISIBLE "PE :{pe}:: a=:{a} b=:{b} c=:{c}"
+KTHXBYE

@@ -1,0 +1,20 @@
+HAI 1.2
+BTW Section VI.B - parallel synchronization wif locks.
+BTW All PEs bump teh countr living on PE 0, 100 times each, holding
+BTW teh implied global lock uv teh symbol (AN IM SHARIN IT).
+CAN HAS STDIO?
+WE HAS A countr ITZ SRSLY A NUMBR AN IM SHARIN IT
+HUGZ
+IM IN YR incloop UPPIN YR i TIL BOTH SAEM i AN 100
+  IM SRSLY MESIN WIF countr
+  TXT MAH BFF 0, UR countr R SUM OF UR countr AN 1
+  DUN MESIN WIF countr
+IM OUTTA YR incloop
+HUGZ
+I HAS A expektd ITZ PRODUKT OF MAH FRENZ AN 100
+BOTH SAEM ME AN 0
+O RLY?
+  YA RLY
+    VISIBLE "TEH COUNTR SEZ :{countr} (SHUD B :{expektd})"
+OIC
+KTHXBYE

@@ -1,0 +1,18 @@
+HAI 1.2
+BTW Section VI.A - initialization and symmetric memory allocation.
+BTW Every PE publishes ME*1000 in slot 0 of its partition of a
+BTW symmetric array, then reads slot 0 of the next PE around the ring.
+CAN HAS STDIO?
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ
+WE HAS A buket ITZ SRSLY LOTZ A NUMBRS ...
+  AN THAR IZ 32
+I HAS A next_pe ITZ A NUMBR ...
+  AN ITZ SUM OF pe AN 1
+next_pe R MOD OF next_pe AN n_pes
+buket'Z 0 R PRODUKT OF pe AN 1000
+HUGZ
+I HAS A got ITZ A NUMBR
+TXT MAH BFF next_pe, got R UR buket'Z 0
+VISIBLE "HAI ITZ :{pe} I GOT :{got} FRUM MAH BFF :{next_pe}"
+KTHXBYE

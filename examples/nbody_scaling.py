@@ -14,6 +14,7 @@ Usage::
 
 import argparse
 import pathlib
+import sys
 import time
 
 from repro import run_lolcode
@@ -21,16 +22,9 @@ from repro.compiler import run_compiled
 from repro.noc import cray_xc40, epiphany_iii, estimate
 
 HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))
 
-
-def load_nbody(particles: int, steps: int) -> str:
-    src = (HERE / "lol" / "nbody2d_fixed.lol").read_text()
-    # The paper hard-codes 32 particles and 10 steps; every literal 32 in
-    # the listing is the particle count (some sit on '...' continuation
-    # lines), so replace globally.
-    src = src.replace("32", str(particles))
-    src = src.replace("time AN 10", f"time AN {steps}")
-    return src
+from benchmarks.conftest import nbody_source as load_nbody  # noqa: E402
 
 
 def main() -> None:

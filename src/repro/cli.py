@@ -76,6 +76,13 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-steps", type=int, default=None, help="statement step limit"
     )
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--engine",
+        choices=("closure", "ast"),
+        default="closure",
+        help="execution engine (closure = compiled closures, default; "
+        "ast = reference tree-walker; --max-steps implies ast)",
+    )
     args = parser.parse_args(argv)
     try:
         from .launcher import run_lolcode
@@ -87,6 +94,7 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
             filename=args.source,
             seed=args.seed,
             max_steps=args.max_steps,
+            engine=args.engine,
         )
     except LolError as exc:
         return _fail(exc)
@@ -120,6 +128,13 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="run through the Python compiler backend instead of the "
         "interpreter",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("closure", "ast"),
+        default="closure",
+        help="interpreter engine (closure = compiled closures, default; "
+        "ast = reference tree-walker); ignored with --compiled",
     )
     parser.add_argument(
         "--race-check",
@@ -157,6 +172,7 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
                 seed=args.seed,
                 trace=args.trace,
                 race_detection=args.race_check,
+                engine=args.engine,
             )
     except LolError as exc:
         return _fail(exc)

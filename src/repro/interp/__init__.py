@@ -1,17 +1,76 @@
-"""Tree-walking SPMD interpreter for extended LOLCODE."""
+"""SPMD interpreters for extended LOLCODE.
 
-from .env import Binding, Env
+Two execution engines share the operator semantics of
+:mod:`repro.interp.values` and are differentially tested against each
+other (and against the compiled-Python backend):
+
+* ``"closure"`` — the default: a one-shot compile pass
+  (:mod:`repro.interp.closures`) turns the AST into nested closures with
+  slot-indexed frames; no per-operation dispatch remains on the hot path;
+* ``"ast"`` — the reference tree-walker
+  (:mod:`repro.interp.interpreter`), also the only engine supporting
+  ``max_steps`` execution limits.
+
+:func:`compile_closures_cached` is the process-wide LRU compiled-program
+cache, keyed by source text: an SPMD launch compiles once and every PE
+shares the same :class:`~repro.interp.closures.CompiledProgram` (the
+compiled form is context-free; each PE runs it against its own
+:class:`~repro.shmem.api.ShmemContext`).
+"""
+
+from functools import lru_cache
+
+from .closures import ClosureCompiler, CompiledProgram, compile_program
+from .env import Binding, Env, UNDECLARED
 from .interpreter import KNOWN_LIBRARIES, Interpreter, interpret, run_serial
-from .values import FLOP_COST, binop, equals, naryop, unop
+from .values import (
+    BINOP_FUNCS,
+    FLOP_COST,
+    NARYOP_FUNCS,
+    UNOP_FUNCS,
+    binop,
+    equals,
+    naryop,
+    unop,
+)
+
+#: Execution engines accepted by ``run_lolcode`` / the CLIs.
+ENGINES = ("closure", "ast")
+
+
+@lru_cache(maxsize=64)
+def compile_closures_cached(
+    source: str, filename: str = "<string>", count_flops: bool = False
+) -> CompiledProgram:
+    """Parse + closure-compile ``source``, memoized on the source text.
+
+    ``count_flops`` is part of the key because FLOP accounting is baked
+    into the compiled closures (zero cost when tracing is off).
+    """
+    from ..lang.parser import parse_cached
+
+    return compile_program(
+        parse_cached(source, filename), count_flops=count_flops
+    )
+
 
 __all__ = [
     "Binding",
     "Env",
+    "UNDECLARED",
     "KNOWN_LIBRARIES",
     "Interpreter",
     "interpret",
     "run_serial",
+    "ClosureCompiler",
+    "CompiledProgram",
+    "compile_program",
+    "compile_closures_cached",
+    "ENGINES",
     "FLOP_COST",
+    "BINOP_FUNCS",
+    "UNOP_FUNCS",
+    "NARYOP_FUNCS",
     "binop",
     "equals",
     "naryop",

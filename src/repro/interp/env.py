@@ -24,6 +24,29 @@ from ..lang.errors import LolNameError, SourcePos
 from ..lang.types import LolType
 
 
+class _Undeclared:
+    """Sentinel filling closure-engine frame slots before their ``I HAS A``
+    executes (a lexically resolved slot is not yet *declared* until its
+    declaration statement actually runs — reads raise ``LolNameError``
+    exactly like the tree-walker's missing-binding path)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<undeclared>"
+
+
+#: The shared sentinel instance; compare with ``is``.
+UNDECLARED = _Undeclared()
+
+
+def new_frame(n_slots: int) -> list:
+    """A closure-engine frame: slot 0 is ``IT`` (NOOB), the rest undeclared."""
+    frame = [UNDECLARED] * n_slots
+    frame[0] = None
+    return frame
+
+
 @dataclass(slots=True)
 class Binding:
     value: object = None

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from ..lang import ast
 from ..lang.errors import (
     LolNameError,
@@ -83,7 +85,13 @@ class Interpreter:
         self.it: object = None
         self.max_steps = max_steps
         self._steps = 0
-        self._count_flops = self.ctx.trace is not None
+        # Tracing is decided once, here ("compile time" for a tree-walker):
+        # the traced dispatch table carries the FLOP-accounting operator
+        # handlers, so the untraced hot path performs no per-op trace
+        # checks or attribute lookups at all.
+        self._expr_dispatch = (
+            _EXPR_DISPATCH_TRACED if self.ctx.trace is not None else _EXPR_DISPATCH
+        )
 
     # -- entry point -----------------------------------------------------------
 
@@ -195,7 +203,7 @@ class Interpreter:
         self.it = self.eval(stmt.expr, env)
 
     def _exec_visible(self, stmt: ast.Visible, env: Env) -> None:
-        parts = [self._display(self.eval(a, env), a.pos) for a in stmt.args]
+        parts = [display_value(self.eval(a, env), a.pos) for a in stmt.args]
         self.ctx.emit("".join(parts) + ("\n" if stmt.newline else ""))
 
     def _exec_gimmeh(self, stmt: ast.Gimmeh, env: Env) -> None:
@@ -305,7 +313,7 @@ class Interpreter:
     # -- expressions -----------------------------------------------------------------
 
     def eval(self, node: ast.Expr, env: Env) -> object:
-        method = _EXPR_DISPATCH.get(type(node))
+        method = self._expr_dispatch.get(type(node))
         if method is None:
             raise LolRuntimeError(
                 f"expression {type(node).__name__} not implemented", node.pos
@@ -353,14 +361,21 @@ class Interpreter:
     def _eval_binop(self, node: ast.BinOp, env: Env) -> object:
         lhs = self.eval(node.lhs, env)
         rhs = self.eval(node.rhs, env)
-        if self._count_flops:
-            self.ctx.add_flops(FLOP_COST.get(node.op, 0))
+        return binop(node.op, lhs, rhs, node.pos)
+
+    def _eval_binop_traced(self, node: ast.BinOp, env: Env) -> object:
+        lhs = self.eval(node.lhs, env)
+        rhs = self.eval(node.rhs, env)
+        self.ctx.add_flops(FLOP_COST.get(node.op, 0))
         return binop(node.op, lhs, rhs, node.pos)
 
     def _eval_unop(self, node: ast.UnaryOp, env: Env) -> object:
         operand = self.eval(node.operand, env)
-        if self._count_flops:
-            self.ctx.add_flops(FLOP_COST.get(node.op, 0))
+        return unop(node.op, operand, node.pos)
+
+    def _eval_unop_traced(self, node: ast.UnaryOp, env: Env) -> object:
+        operand = self.eval(node.operand, env)
+        self.ctx.add_flops(FLOP_COST.get(node.op, 0))
         return unop(node.op, operand, node.pos)
 
     def _eval_naryop(self, node: ast.NaryOp, env: Env) -> object:
@@ -490,19 +505,19 @@ class Interpreter:
     ) -> None:
         if qualifier == "UR":
             pe = self._require_remote(name, pos)
-            self.ctx.put(name, self._coerce_symmetric(name, value, pos), pe)
+            self.ctx.put(name, coerce_symmetric(self.ctx, name, value, pos), pe)
             return
         binding = env.lookup(name, pos)
         if binding.symmetric:
-            self.ctx.local_write(name, self._coerce_symmetric(name, value, pos))
+            self.ctx.local_write(name, coerce_symmetric(self.ctx, name, value, pos))
             return
         if binding.is_array:
             cell: ArrayCell = binding.value  # type: ignore[assignment]
-            self._write_whole_array(cell, value, name, pos)
+            write_whole_array(cell, value, name, pos)
             return
         if binding.static_type is not None:
             value = coerce_static(value, binding.static_type, name, pos)
-        elif not self._is_scalar(value):
+        elif not is_scalar_value(value):
             raise LolTypeError(
                 f"cannot assign an array value to scalar '{name}'", pos
             )
@@ -520,71 +535,24 @@ class Interpreter:
         if qualifier == "UR":
             pe = self._require_remote(name, pos)
             obj = self.ctx.world.heap.lookup(name)
-            value = self._coerce_element(value, obj.lol_type, name, pos)
+            value = coerce_element(value, obj.lol_type, name, pos)
             self.ctx.put(name, value, pe, index=index)
             return
         binding = env.lookup(name, pos)
         if binding.symmetric:
             obj = self.ctx.world.heap.lookup(name)
-            value = self._coerce_element(value, obj.lol_type, name, pos)
+            value = coerce_element(value, obj.lol_type, name, pos)
             self.ctx.local_write(name, value, index=index)
             return
         if not binding.is_array:
             raise LolTypeError(f"'{name}' is not an array", pos)
         cell: ArrayCell = binding.value  # type: ignore[assignment]
-        value = self._coerce_element(value, cell.lol_type, name, pos)
+        value = coerce_element(value, cell.lol_type, name, pos)
         try:
             cell.write(index, value)
         except LolRuntimeError as exc:
             raise LolRuntimeError(f"{name}: {exc.message}", pos) from exc
 
-    def _write_whole_array(
-        self, cell: ArrayCell, value: object, name: str, pos: SourcePos
-    ) -> None:
-        import numpy as np
-
-        if not isinstance(value, (list, np.ndarray)):
-            raise LolTypeError(
-                f"cannot assign a scalar to whole array '{name}' "
-                f"(index it with {name}'Z <expr>)",
-                pos,
-            )
-        if len(value) != len(cell):
-            raise LolRuntimeError(
-                f"array length mismatch assigning to '{name}': "
-                f"{len(value)} vs {len(cell)}",
-                pos,
-            )
-        cell.write_all(value)
-
-    def _coerce_symmetric(self, name: str, value: object, pos: SourcePos) -> object:
-        """Coerce a value headed for symmetric storage of ``name``."""
-        import numpy as np
-
-        obj = self.ctx.world.heap.lookup(name)
-        if obj.is_array:
-            if not isinstance(value, (list, np.ndarray)):
-                raise LolTypeError(
-                    f"cannot assign a scalar to whole symmetric array "
-                    f"'{name}'",
-                    pos,
-                )
-            if len(value) != obj.size:
-                raise LolRuntimeError(
-                    f"array length mismatch assigning to '{name}': "
-                    f"{len(value)} vs {obj.size}",
-                    pos,
-                )
-            return value
-        return self._coerce_element(value, obj.lol_type, name, pos)
-
-    @staticmethod
-    def _coerce_element(
-        value: object, lol_type: Optional[LolType], name: str, pos: SourcePos
-    ) -> object:
-        if lol_type is None:
-            return value
-        return coerce_static(value, lol_type, name, pos)
 
     def _lock_symbol(self, target: ast.VarRef | ast.SrsRef, env: Env) -> str:
         """Resolve the symbol a lock statement protects.
@@ -603,26 +571,8 @@ class Interpreter:
             )
         return name
 
-    @staticmethod
-    def _is_scalar(value: object) -> bool:
-        import numpy as np
-
-        return not isinstance(value, (list, np.ndarray, ArrayCell))
-
-    def _display(self, value: object, pos: SourcePos) -> str:
-        import numpy as np
-
-        if isinstance(value, (list, np.ndarray)):
-            return " ".join(format_yarn(_scalarize(v)) for v in value)
-        try:
-            return format_yarn(value)
-        except LolTypeError as exc:
-            raise LolTypeError(f"VISIBLE: {exc.message}", pos) from exc
-
 
 def _scalarize(v: object) -> object:
-    import numpy as np
-
     if isinstance(v, np.integer):
         return int(v)
     if isinstance(v, np.floating):
@@ -630,6 +580,78 @@ def _scalarize(v: object) -> object:
     if isinstance(v, np.bool_):
         return bool(v)
     return v
+
+
+# ---------------------------------------------------------------------------
+# Value plumbing shared by both interpreter engines (the tree-walker here
+# and the closure engine in .closures); one copy so semantics cannot drift.
+# ---------------------------------------------------------------------------
+
+_SCALAR_TYPES = frozenset((int, float, str, bool, type(None)))
+
+
+def is_scalar_value(value: object) -> bool:
+    if type(value) in _SCALAR_TYPES:
+        return True
+    return not isinstance(value, (list, np.ndarray, ArrayCell))
+
+
+def display_value(value: object, pos: SourcePos) -> str:
+    """Render one VISIBLE argument (arrays print space-separated)."""
+    if isinstance(value, (list, np.ndarray)):
+        return " ".join(format_yarn(_scalarize(v)) for v in value)
+    try:
+        return format_yarn(value)
+    except LolTypeError as exc:
+        raise LolTypeError(f"VISIBLE: {exc.message}", pos) from exc
+
+
+def write_whole_array(
+    cell: ArrayCell, value: object, name: str, pos: SourcePos
+) -> None:
+    if not isinstance(value, (list, np.ndarray)):
+        raise LolTypeError(
+            f"cannot assign a scalar to whole array '{name}' "
+            f"(index it with {name}'Z <expr>)",
+            pos,
+        )
+    if len(value) != len(cell):
+        raise LolRuntimeError(
+            f"array length mismatch assigning to '{name}': "
+            f"{len(value)} vs {len(cell)}",
+            pos,
+        )
+    cell.write_all(value)
+
+
+def coerce_element(
+    value: object, lol_type: Optional[LolType], name: str, pos: SourcePos
+) -> object:
+    if lol_type is None:
+        return value
+    return coerce_static(value, lol_type, name, pos)
+
+
+def coerce_symmetric(
+    ctx: ShmemContext, name: str, value: object, pos: SourcePos
+) -> object:
+    """Coerce a value headed for symmetric storage of ``name``."""
+    obj = ctx.world.heap.lookup(name)
+    if obj.is_array:
+        if not isinstance(value, (list, np.ndarray)):
+            raise LolTypeError(
+                f"cannot assign a scalar to whole symmetric array "
+                f"'{name}'",
+                pos,
+            )
+        if len(value) != obj.size:
+            raise LolRuntimeError(
+                f"array length mismatch assigning to '{name}': "
+                f"{len(value)} vs {obj.size}",
+                pos,
+            )
+        return value
+    return coerce_element(value, obj.lol_type, name, pos)
 
 
 _STMT_DISPATCH = {
@@ -669,6 +691,14 @@ _EXPR_DISPATCH = {
     ast.SrsRef: Interpreter._eval_srs,
     ast.Index: Interpreter._eval_index,
     ast.FuncCall: Interpreter._eval_call,
+}
+
+#: Dispatch table used when op tracing is enabled: identical except the
+#: operator handlers also account FLOPs toward the NoC model.
+_EXPR_DISPATCH_TRACED = {
+    **_EXPR_DISPATCH,
+    ast.BinOp: Interpreter._eval_binop_traced,
+    ast.UnaryOp: Interpreter._eval_unop_traced,
 }
 
 

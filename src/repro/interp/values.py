@@ -90,6 +90,9 @@ def arith(op: str, lhs: object, rhs: object, pos: SourcePos | None = None) -> ob
 
 
 def equals(lhs: object, rhs: object) -> bool:
+    t1, t2 = type(lhs), type(rhs)
+    if (t1 is int or t1 is float) and (t2 is int or t2 is float):
+        return lhs == rhs
     ta, tb = type_of(lhs), type_of(rhs)
     if ta in _NUMERIC and tb in _NUMERIC:
         return float(lhs) == float(rhs)  # type: ignore[arg-type]
@@ -105,51 +108,183 @@ def compare(op: str, lhs: object, rhs: object, pos: SourcePos | None = None) -> 
     return a > b if op == "gt" else a < b
 
 
+# ---------------------------------------------------------------------------
+# Per-operator function tables.
+#
+# Every operator is one callable ``fn(lhs, rhs, pos) -> value`` so the
+# closure-compilation engine can resolve the operator *once at compile
+# time* instead of re-running a string-keyed if-chain per evaluation.
+# The numeric ops carry an inline fast path for the overwhelmingly common
+# int/float case (``type(x) is int`` deliberately excludes bool, which
+# LOLCODE arithmetic must coerce through TROOF rules in ``_as_number``).
+# ---------------------------------------------------------------------------
+
+
+def _op_add(a: object, b: object, pos: SourcePos | None = None) -> object:
+    ta, tb = type(a), type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a + b
+    return arith("add", a, b, pos)
+
+
+def _op_sub(a: object, b: object, pos: SourcePos | None = None) -> object:
+    ta, tb = type(a), type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a - b
+    return arith("sub", a, b, pos)
+
+
+def _op_mul(a: object, b: object, pos: SourcePos | None = None) -> object:
+    ta, tb = type(a), type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a * b
+    return arith("mul", a, b, pos)
+
+
+def _op_div(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return arith("div", a, b, pos)
+
+
+def _op_mod(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return arith("mod", a, b, pos)
+
+
+def _op_max(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return arith("max", a, b, pos)
+
+
+def _op_min(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return arith("min", a, b, pos)
+
+
+def _op_eq(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return equals(a, b)
+
+
+def _op_ne(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return not equals(a, b)
+
+
+def _op_gt(a: object, b: object, pos: SourcePos | None = None) -> object:
+    ta, tb = type(a), type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a > b
+    return compare("gt", a, b, pos)
+
+
+def _op_lt(a: object, b: object, pos: SourcePos | None = None) -> object:
+    ta, tb = type(a), type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a < b
+    return compare("lt", a, b, pos)
+
+
+def _op_and(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return to_troof(a) and to_troof(b)
+
+
+def _op_or(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return to_troof(a) or to_troof(b)
+
+
+def _op_xor(a: object, b: object, pos: SourcePos | None = None) -> object:
+    return to_troof(a) != to_troof(b)
+
+
+#: op name -> ``fn(lhs, rhs, pos)``; the closure engine indexes this once
+#: per BinOp node at compile time.
+BINOP_FUNCS = {
+    "add": _op_add,
+    "sub": _op_sub,
+    "mul": _op_mul,
+    "div": _op_div,
+    "mod": _op_mod,
+    "max": _op_max,
+    "min": _op_min,
+    "eq": _op_eq,
+    "ne": _op_ne,
+    "gt": _op_gt,
+    "lt": _op_lt,
+    "and": _op_and,
+    "or": _op_or,
+    "xor": _op_xor,
+}
+
+
+def _op_not(value: object, pos: SourcePos | None = None) -> object:
+    return not to_troof(value)
+
+
+def _op_square(value: object, pos: SourcePos | None = None) -> object:
+    t = type(value)
+    if t is int or t is float:
+        return value * value
+    v = _as_number(value, pos)
+    return v * v
+
+
+def _op_sqrt(value: object, pos: SourcePos | None = None) -> object:
+    v = value if type(value) is float else to_numbar(value, pos)
+    if v < 0:
+        raise LolRuntimeError("UNSQUAR OF: negative operand", pos)
+    return math.sqrt(v)
+
+
+def _op_recip(value: object, pos: SourcePos | None = None) -> object:
+    v = value if type(value) is float else to_numbar(value, pos)
+    if v == 0.0:
+        raise LolRuntimeError("FLIP OF: division by zero", pos)
+    return 1.0 / v
+
+
+#: op name -> ``fn(value, pos)``.
+UNOP_FUNCS = {
+    "not": _op_not,
+    "square": _op_square,
+    "sqrt": _op_sqrt,
+    "recip": _op_recip,
+}
+
+
+def _op_all(values: list[object], pos: SourcePos | None = None) -> object:
+    return all(to_troof(v) for v in values)
+
+
+def _op_any(values: list[object], pos: SourcePos | None = None) -> object:
+    return any(to_troof(v) for v in values)
+
+
+def _op_smoosh(values: list[object], pos: SourcePos | None = None) -> object:
+    return "".join(format_yarn(v) for v in values)
+
+
+#: op name -> ``fn(values, pos)``.
+NARYOP_FUNCS = {
+    "all": _op_all,
+    "any": _op_any,
+    "smoosh": _op_smoosh,
+}
+
+
 def binop(op: str, lhs: object, rhs: object, pos: SourcePos | None = None) -> object:
-    if op in ("add", "sub", "mul", "div", "mod", "max", "min"):
-        return arith(op, lhs, rhs, pos)
-    if op == "eq":
-        return equals(lhs, rhs)
-    if op == "ne":
-        return not equals(lhs, rhs)
-    if op in ("gt", "lt"):
-        return compare(op, lhs, rhs, pos)
-    if op == "and":
-        return to_troof(lhs) and to_troof(rhs)
-    if op == "or":
-        return to_troof(lhs) or to_troof(rhs)
-    if op == "xor":
-        return to_troof(lhs) != to_troof(rhs)
-    raise LolRuntimeError(f"unknown binary op {op!r}", pos)
+    fn = BINOP_FUNCS.get(op)
+    if fn is None:
+        raise LolRuntimeError(f"unknown binary op {op!r}", pos)
+    return fn(lhs, rhs, pos)
 
 
 def unop(op: str, value: object, pos: SourcePos | None = None) -> object:
-    if op == "not":
-        return not to_troof(value)
-    if op == "square":  # SQUAR OF: var * var (Table III)
-        v = _as_number(value, pos)
-        return v * v
-    if op == "sqrt":  # UNSQUAR OF: sqrt(var)
-        v = to_numbar(value, pos)
-        if v < 0:
-            raise LolRuntimeError("UNSQUAR OF: negative operand", pos)
-        return math.sqrt(v)
-    if op == "recip":  # FLIP OF: 1/var
-        v = to_numbar(value, pos)
-        if v == 0.0:
-            raise LolRuntimeError("FLIP OF: division by zero", pos)
-        return 1.0 / v
-    raise LolRuntimeError(f"unknown unary op {op!r}", pos)
+    fn = UNOP_FUNCS.get(op)
+    if fn is None:
+        raise LolRuntimeError(f"unknown unary op {op!r}", pos)
+    return fn(value, pos)
 
 
 def naryop(op: str, values: list[object], pos: SourcePos | None = None) -> object:
-    if op == "all":
-        return all(to_troof(v) for v in values)
-    if op == "any":
-        return any(to_troof(v) for v in values)
-    if op == "smoosh":
-        return "".join(format_yarn(v) for v in values)
-    raise LolRuntimeError(f"unknown n-ary op {op!r}", pos)
+    fn = NARYOP_FUNCS.get(op)
+    if fn is None:
+        raise LolRuntimeError(f"unknown n-ary op {op!r}", pos)
+    return fn(values, pos)
 
 
 #: Estimated floating point work per operator, for the NoC performance

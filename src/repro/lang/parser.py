@@ -22,6 +22,8 @@ Paper-specific grammar, supported here:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from . import ast
 from .errors import LolSyntaxError, SourcePos
 from .tokens import (
@@ -576,6 +578,14 @@ def parse(source: str, filename: str = "<string>") -> ast.Program:
     from .lexer import tokenize
 
     return Parser(tokenize(source, filename)).parse_program()
+
+
+@lru_cache(maxsize=64)
+def parse_cached(source: str, filename: str = "<string>") -> ast.Program:
+    """Memoized :func:`parse`, shared by the launcher and the closure
+    compiler.  Safe because every AST consumer (interpreters, planners,
+    compilers, formatter) treats the tree as read-only."""
+    return parse(source, filename)
 
 
 def parse_tokens(tokens: list[Token]) -> ast.Program:

@@ -59,10 +59,23 @@ C_TYPES = {
 }
 
 
+#: Exact-type fast path for :func:`type_of`.  Keyed by ``type(value)`` so
+#: ``bool`` (a subclass of ``int``) maps to TROOF correctly; numpy scalar
+#: types miss here and fall through to the isinstance chain.
+_TYPE_OF_FAST = {
+    type(None): LolType.NOOB,
+    bool: LolType.TROOF,
+    int: LolType.NUMBR,
+    float: LolType.NUMBAR,
+    str: LolType.YARN,
+}
+
+
 def type_of(value: object) -> LolType:
     """Dynamic type of a Python-hosted LOLCODE value."""
-    if value is None:
-        return LolType.NOOB
+    t = _TYPE_OF_FAST.get(type(value))
+    if t is not None:
+        return t
     if isinstance(value, bool):
         return LolType.TROOF
     if isinstance(value, int):
@@ -102,6 +115,8 @@ def format_yarn(value: object) -> str:
 
 
 def to_troof(value: object) -> bool:
+    if type(value) is bool:
+        return value
     t = type_of(value)
     if t is LolType.TROOF:
         return bool(value)
@@ -176,6 +191,11 @@ def coerce_static(
     numeric types (NUMBR <-> NUMBAR, TROOF -> NUMBR) and reject everything
     else with a type error — stricter than dynamic LOLCODE, by design.
     """
+    t = type(value)
+    if (t is int and declared is LolType.NUMBR) or (
+        t is float and declared is LolType.NUMBAR
+    ):
+        return value
     vt = type_of(value)
     if vt is declared:
         return value

@@ -25,8 +25,9 @@ from typing import Optional, Sequence
 
 from ..lang import ast
 from ..lang.errors import LolParallelError
-from ..lang.parser import parse
+from ..lang.parser import parse_cached
 from ..lang.types import parse_type, to_numbr
+from ..interp import ENGINES, compile_closures_cached
 from ..interp.interpreter import Interpreter
 from ..interp.values import binop, unop
 from ..shmem.api import DEFAULT_BARRIER_TIMEOUT, ShmemContext
@@ -80,9 +81,25 @@ def plan_from_program(program: ast.Program, n_pes: int) -> SymmetricPlan:
     return plan
 
 
-def _pe_main(source: str, filename: str, max_steps, ctx: ShmemContext) -> None:
-    """Module-level worker so the process executor can pickle it."""
-    program = parse(source, filename)
+def _pe_main(
+    source: str, filename: str, max_steps, engine: str, ctx: ShmemContext
+) -> None:
+    """Module-level worker so the process executor can pickle it.
+
+    Engine dispatch happens here (rather than in ``run_lolcode``) because
+    compiled closures are not picklable: thread PEs share one compiled
+    program through the :func:`~repro.interp.compile_closures_cached` LRU,
+    while each worker process hits its own per-process cache.  A
+    ``max_steps`` limit forces the tree-walker — the closure engine does
+    not instrument statement counting on its hot path.
+    """
+    if engine == "closure" and max_steps is None:
+        compiled = compile_closures_cached(
+            source, filename, ctx.trace is not None
+        )
+        compiled.run(ctx)
+        return
+    program = parse_cached(source, filename)
     Interpreter(program, ctx, max_steps=max_steps).run()
 
 
@@ -99,14 +116,26 @@ def run_lolcode(
     race_detection: bool = False,
     max_steps: Optional[int] = None,
     barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
+    engine: str = "closure",
 ) -> SpmdResult:
-    """Parse ``source`` once (for early syntax errors) and run it SPMD."""
+    """Parse ``source`` once (for early syntax errors) and run it SPMD.
+
+    ``engine`` selects the execution engine per PE: ``"closure"``
+    (default — compile once per program into zero-dispatch closures,
+    shared by all PEs) or ``"ast"`` (the reference tree-walker; also used
+    automatically whenever ``max_steps`` is requested).
+    """
     if executor not in EXECUTORS:
         raise LolParallelError(
             f"unknown executor {executor!r} (choose from {EXECUTORS})"
         )
-    program = parse(source, filename)  # surface syntax errors in the caller
-    worker = partial(_pe_main, source, filename, max_steps)
+    if engine not in ENGINES:
+        raise LolParallelError(
+            f"unknown engine {engine!r} (choose from {ENGINES})"
+        )
+    # Surface syntax errors in the caller (cached: benches re-run sources).
+    program = parse_cached(source, filename)
+    worker = partial(_pe_main, source, filename, max_steps, engine)
 
     if executor == "process":
         if race_detection:

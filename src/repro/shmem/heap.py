@@ -85,10 +85,18 @@ class ArrayCell:
     executor.
     """
 
-    __slots__ = ("data", "lol_type")
+    __slots__ = ("data", "lol_type", "_conv")
+
+    #: element-read converters back to host Python scalars, per type
+    _CONVERTERS = {
+        LolType.NUMBR: int,
+        LolType.NUMBAR: float,
+        LolType.TROOF: bool,
+    }
 
     def __init__(self, lol_type: LolType, size: int, data=None) -> None:
         self.lol_type = lol_type
+        self._conv = self._CONVERTERS.get(lol_type)
         if data is not None:
             self.data = data
         elif lol_type in NUMPY_DTYPES:
@@ -102,13 +110,8 @@ class ArrayCell:
     def read(self, index: int) -> object:
         self._check(index)
         v = self.data[index]
-        if self.lol_type is LolType.NUMBR:
-            return int(v)
-        if self.lol_type is LolType.NUMBAR:
-            return float(v)
-        if self.lol_type is LolType.TROOF:
-            return bool(v)
-        return v
+        conv = self._conv
+        return conv(v) if conv is not None else v
 
     def write(self, index: int, value: object) -> None:
         self._check(index)
@@ -136,7 +139,7 @@ class ArrayCell:
         return 8 * len(self.data)
 
     def _check(self, index: int) -> None:
-        if not isinstance(index, (int, np.integer)):
+        if type(index) is not int and not isinstance(index, (int, np.integer)):
             raise LolRuntimeError(f"array index must be a NUMBR, got {index!r}")
         if index < 0 or index >= len(self.data):
             raise LolRuntimeError(

@@ -1,0 +1,364 @@
+"""Differential tests: closure engine vs tree-walker vs compiled backend.
+
+The closure-compilation engine must be observationally identical to the
+reference tree-walker (and, where the program is compilable, to the
+compiled-Python backend) — same VISIBLE output per PE, same FLOP/op
+accounting, same RNG draw sequence.  This suite checks that property on
+
+* every bundled paper example at 1/2/4 PEs,
+* randomized arithmetic/loop/predication programs (seeded, so failures
+  reproduce),
+* the ``HUGZ`` barrier and ``IM SRSLY MESIN WIF`` lock paths at 4 PEs.
+"""
+
+import random
+
+import pytest
+
+from repro import run_lolcode
+from repro.compiler import run_compiled
+
+from .conftest import EXAMPLES_LOL, lol
+
+EXAMPLES = ["ring.lol", "locks.lol", "barrier.lol", "nbody2d_fixed.lol"]
+
+
+def both_engines(src: str, n_pes: int, **kwargs):
+    a = run_lolcode(src, n_pes, engine="ast", **kwargs)
+    c = run_lolcode(src, n_pes, engine="closure", **kwargs)
+    return a, c
+
+
+def assert_engines_agree(src: str, n_pes: int, *, compiled: bool = False, **kwargs):
+    a, c = both_engines(src, n_pes, **kwargs)
+    assert a.outputs == c.outputs, (
+        f"closure engine diverged from tree-walker at {n_pes} PEs"
+    )
+    if compiled:
+        p = run_compiled(src, n_pes, **kwargs)
+        assert a.outputs == p.outputs, (
+            f"compiled backend diverged from interpreters at {n_pes} PEs"
+        )
+    return a, c
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    @pytest.mark.parametrize("n_pes", [1, 2, 4])
+    def test_outputs_identical_all_three_engines(self, name, n_pes):
+        src = (EXAMPLES_LOL / name).read_text()
+        assert_engines_agree(src, n_pes, compiled=True, seed=42)
+
+    def test_racy_nbody_single_pe(self):
+        # The racy listing is only deterministic at 1 PE; that is enough
+        # to pin the closure engine to the tree-walker on it too.
+        src = (EXAMPLES_LOL / "nbody2d.lol").read_text()
+        assert_engines_agree(src, 1, compiled=True, seed=7)
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_trace_accounting_identical(self, name):
+        src = (EXAMPLES_LOL / name).read_text()
+        a, c = both_engines(src, 2, seed=42, trace=True)
+        assert a.trace.total_flops() == c.trace.total_flops()
+        assert a.trace.total_remote_bytes() == c.trace.total_remote_bytes()
+        assert a.trace.summary() == c.trace.summary()
+
+
+# ---------------------------------------------------------------------------
+# Randomized program generation (seeded — failures reproduce exactly).
+# ---------------------------------------------------------------------------
+
+_BINOPS = ("SUM OF", "DIFF OF", "PRODUKT OF", "BIGGR OF", "SMALLR OF")
+_CMPOPS = ("BOTH SAEM", "DIFFRINT", "BIGGER", "SMALLR")
+
+
+def _expr(rng: random.Random, names: list[str], depth: int = 0) -> str:
+    choices = ["int", "var", "me", "frenz"]
+    if depth < 2:
+        choices += ["bin", "bin", "mod", "square"]
+    kind = rng.choice(choices)
+    if kind == "int" or (kind == "var" and not names):
+        return str(rng.randrange(-20, 100))
+    if kind == "var":
+        return rng.choice(names)
+    if kind == "me":
+        return "ME"
+    if kind == "frenz":
+        return "MAH FRENZ"
+    if kind == "mod":
+        # constant, non-zero modulus so no division-by-zero aborts
+        return (
+            f"MOD OF {_expr(rng, names, depth + 1)} AN {rng.randrange(2, 9)}"
+        )
+    if kind == "square":
+        return f"SQUAR OF {_expr(rng, names, depth + 1)}"
+    op = rng.choice(_BINOPS)
+    return f"{op} {_expr(rng, names, depth + 1)} AN {_expr(rng, names, depth + 1)}"
+
+
+def _random_program(seed: int) -> str:
+    """A random straight-line/loop/branch program over NUMBR locals."""
+    rng = random.Random(seed)
+    lines: list[str] = []
+    names: list[str] = []
+    for i in range(rng.randrange(2, 5)):
+        name = f"v{i}"
+        lines.append(f"I HAS A {name} ITZ {_expr(rng, names)}")
+        names.append(name)
+    n_iters = rng.randrange(2, 8)
+    body: list[str] = []
+    for _ in range(rng.randrange(1, 4)):
+        body.append(f"  {rng.choice(names)} R {_expr(rng, names + ['i'])}")
+    # a data-dependent branch through IT and O RLY?
+    body.append(f"  {rng.choice(_CMPOPS)} MOD OF i AN 2 AN 0")
+    body.append("  O RLY?")
+    body.append(f"    YA RLY, {rng.choice(names)} R {_expr(rng, names)}")
+    body.append(f"    NO WAI, {rng.choice(names)} R {_expr(rng, names + ['i'])}")
+    body.append("  OIC")
+    lines.append(f"IM IN YR looper UPPIN YR i TIL BOTH SAEM i AN {n_iters}")
+    lines.extend(body)
+    lines.append("IM OUTTA YR looper")
+    for name in names:
+        lines.append(f"VISIBLE {name}")
+    return lol("\n".join(lines))
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_random_arithmetic_loop_programs(seed):
+    src = _random_program(seed)
+    for n_pes in (1, 2):
+        assert_engines_agree(src, n_pes, compiled=True, seed=seed)
+
+
+def _random_predication_program(seed: int) -> str:
+    """Random SPMD program exercising TXT MAH BFF / UR / HUGZ at 4 PEs."""
+    rng = random.Random(seed)
+    size = rng.randrange(4, 9)
+    shift = rng.randrange(1, 4)
+    lines = [
+        f"WE HAS A shard ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {size}",
+        "WE HAS A tag ITZ SRSLY A NUMBR",
+        f"tag R PRODUKT OF ME AN {rng.randrange(2, 30)}",
+        f"IM IN YR fill UPPIN YR i TIL BOTH SAEM i AN {size}",
+        f"  shard'Z i R SUM OF PRODUKT OF ME AN 100 AN {_expr(rng, ['i'])}",
+        "IM OUTTA YR fill",
+        "HUGZ",
+        f"I HAS A nekst ITZ MOD OF SUM OF ME AN {shift} AN MAH FRENZ",
+        "I HAS A got ITZ A NUMBR",
+        "I HAS A gotag ITZ A NUMBR",
+        "TXT MAH BFF nekst AN STUFF",
+        f"  got R UR shard'Z {rng.randrange(0, size)}",
+        "  gotag R UR tag",
+        "TTYL",
+        "HUGZ",
+        'VISIBLE "PE :{nekst} GAVE :{got} TAGGED :{gotag}"',
+    ]
+    return lol("\n".join(lines))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_predication_programs_4pes(seed):
+    src = _random_predication_program(seed)
+    assert_engines_agree(src, 4, compiled=True, seed=seed)
+
+
+def test_lock_path_4pes():
+    src = lol(
+        "WE HAS A kounter ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+        "HUGZ\n"
+        "IM IN YR bump UPPIN YR i TIL BOTH SAEM i AN 25\n"
+        "  IM SRSLY MESIN WIF kounter\n"
+        "  TXT MAH BFF 0, UR kounter R SUM OF UR kounter AN 1\n"
+        "  DUN MESIN WIF kounter\n"
+        "IM OUTTA YR bump\n"
+        "HUGZ\n"
+        "BOTH SAEM ME AN 0\n"
+        "O RLY?\n"
+        "  YA RLY, VISIBLE kounter\n"
+        "OIC"
+    )
+    a, c = both_engines(src, 4, seed=3)
+    assert a.outputs == c.outputs
+    assert a.outputs[0] == "100\n"
+
+
+def test_trylock_path_4pes():
+    # IM MESIN WIF stores WIN/FAIL into IT; both engines must agree on
+    # the *final* state even though interleavings differ, so serialize
+    # with a barrier and have only PE 0 trylock.
+    src = lol(
+        "WE HAS A gate ITZ SRSLY A NUMBR AN IM SHARIN IT\n"
+        "BOTH SAEM ME AN 0\n"
+        "O RLY?\n"
+        "  YA RLY\n"
+        "    IM MESIN WIF gate\n"
+        "    O RLY?\n"
+        '      YA RLY, VISIBLE "PE0 GOT TEH LOCK"\n'
+        '      NO WAI, VISIBLE "PE0 MISSED"\n'
+        "    OIC\n"
+        "    DUN MESIN WIF gate\n"
+        "OIC\n"
+        "HUGZ\n"
+        'VISIBLE "DUN ITZ :{gate}"'
+    )
+    a, c = both_engines(src, 4, seed=3)
+    assert a.outputs == c.outputs
+    assert "PE0 GOT TEH LOCK" in a.outputs[0]
+
+
+def test_functions_and_it_semantics():
+    src = lol(
+        "HOW IZ I twice YR x\n"
+        "  FOUND YR PRODUKT OF x AN 2\n"
+        "IF U SAY SO\n"
+        "HOW IZ I fallthru YR x\n"
+        "  SUM OF x AN 1\n"
+        "IF U SAY SO\n"
+        "I HAS A a ITZ I IZ twice YR 21 MKAY\n"
+        "I HAS A b ITZ I IZ fallthru YR 41 MKAY\n"
+        "VISIBLE a \" \" b\n"
+        "SUM OF a AN b\n"
+        "VISIBLE IT"
+    )
+    a, c = both_engines(src, 2, seed=1)
+    assert a.outputs == c.outputs
+    assert a.outputs[0] == "42 42\n84\n"
+
+
+def test_switch_fallthrough_and_gtfo():
+    src = lol(
+        "IM IN YR outer UPPIN YR i TIL BOTH SAEM i AN 4\n"
+        "  i\n"
+        "  WTF?\n"
+        "    OMG 0\n"
+        '      VISIBLE "ZERO"\n'
+        "    OMG 1\n"
+        '      VISIBLE "ONE"\n'
+        "      GTFO\n"
+        "    OMG 2\n"
+        '      VISIBLE "TWO"\n'
+        "    OMGWTF\n"
+        '      VISIBLE "OTHER"\n'
+        "  OIC\n"
+        "IM OUTTA YR outer"
+    )
+    a, c = both_engines(src, 1, seed=1)
+    assert a.outputs == c.outputs
+
+
+def test_srs_computed_identifiers():
+    src = lol(
+        "I HAS A abc ITZ 7\n"
+        'I HAS A namez ITZ "abc"\n'
+        "SRS namez R 9\n"
+        "VISIBLE SRS namez\n"
+        "VISIBLE abc"
+    )
+    a, c = both_engines(src, 1, seed=1)
+    assert a.outputs == c.outputs
+    assert a.outputs[0] == "9\n9\n"
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        # accumulator redeclared each iteration reads the previous binding
+        "I HAS A x ITZ 1\n"
+        "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3\n"
+        "  I HAS A x ITZ SUM OF x AN 10\n"
+        "  VISIBLE x\n"
+        "IM OUTTA YR l\n"
+        "VISIBLE x",
+        # read textually before the in-body declaration
+        "I HAS A x ITZ 1\n"
+        "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 3\n"
+        "  VISIBLE x\n"
+        "  I HAS A x ITZ 99\n"
+        "IM OUTTA YR l",
+        # re-entering a nested loop gets a fresh environment
+        "I HAS A a ITZ 2\n"
+        "IM IN YR o UPPIN YR i TIL BOTH SAEM i AN 2\n"
+        "  IM IN YR n UPPIN YR j TIL BOTH SAEM j AN 2\n"
+        "    I HAS A a ITZ SUM OF a AN 1\n"
+        "    VISIBLE a\n"
+        "  IM OUTTA YR n\n"
+        "IM OUTTA YR o\n"
+        "VISIBLE a",
+    ],
+    ids=["accumulator", "read-before-decl", "nested-fresh-env"],
+)
+def test_loop_body_redeclaration_semantics(body):
+    # The tree-walker keeps one environment per loop execution; the
+    # closure engine reproduces it with pre-declared fallback slots and
+    # an UNDECLARED reset on loop re-entry.
+    a, c = both_engines(lol(body), 1, seed=1)
+    assert a.outputs == c.outputs
+
+
+def test_txt_block_declarations_stay_visible():
+    # The tree-walker executes TXT MAH BFF bodies in the *enclosing*
+    # environment, so declarations inside the predicated block survive
+    # past TTYL; the closure engine must not scope them away.
+    src = lol(
+        "WE HAS A s ITZ SRSLY A NUMBR\n"
+        "s R PRODUKT OF ME AN 10\n"
+        "HUGZ\n"
+        "TXT MAH BFF MOD OF SUM OF ME AN 1 AN MAH FRENZ AN STUFF,\n"
+        "  I HAS A fetched ITZ UR s\n"
+        "TTYL\n"
+        "VISIBLE fetched"
+    )
+    a, c = assert_engines_agree(src, 4, seed=1)
+    assert a.outputs[3] == "0\n"  # PE 3 fetched PE 0's s
+
+
+def test_global_redeclaration_visible_to_functions():
+    # A function reads a global that is redeclared (same shape) after
+    # the call site; slot reuse must keep the first declaration's value
+    # visible to the early call, exactly like the tree-walker.
+    src = lol(
+        "I HAS A x ITZ 1\n"
+        "HOW IZ I peek\n"
+        "  FOUND YR x\n"
+        "IF U SAY SO\n"
+        "VISIBLE I IZ peek MKAY\n"
+        "I HAS A x ITZ 2\n"
+        "VISIBLE I IZ peek MKAY"
+    )
+    a, c = both_engines(src, 1, seed=1)
+    assert a.outputs == c.outputs
+    assert a.outputs[0] == "1\n2\n"
+
+
+def test_error_parity_undeclared_variable():
+    from repro.lang.errors import LolError
+
+    src = lol("VISIBLE never_declared")
+    for engine in ("ast", "closure"):
+        with pytest.raises(LolError, match="never_declared"):
+            run_lolcode(src, 1, engine=engine)
+
+
+def test_engine_validation_and_max_steps_fallback():
+    from repro.lang.errors import LolError, LolParallelError
+
+    with pytest.raises(LolParallelError, match="unknown engine"):
+        run_lolcode(lol("VISIBLE 1"), 1, engine="jit")
+    # max_steps forces the tree-walker; the limit must still fire under
+    # the default (closure) engine selection.
+    spin = lol("IM IN YR forever UPPIN YR i\nVISIBLE i\nIM OUTTA YR forever")
+    with pytest.raises(LolError, match="steps"):
+        run_lolcode(spin, 1, max_steps=50)
+
+
+def test_compiled_program_cache_shared_across_runs():
+    from repro.interp import compile_closures_cached
+
+    compile_closures_cached.cache_clear()
+    src = lol("VISIBLE SUM OF ME AN 1")
+    run_lolcode(src, 4, seed=1)
+    info = compile_closures_cached.cache_info()
+    assert info.misses == 1  # compiled once...
+    assert info.hits >= 3  # ...shared by the other PEs
+    run_lolcode(src, 4, seed=1)
+    assert compile_closures_cached.cache_info().misses == 1
