@@ -9,7 +9,10 @@ representative operation with pytest-benchmark.
 from __future__ import annotations
 
 import pathlib
-import re
+
+from repro.workloads import nbody_source  # noqa: F401  (re-export: the
+# n-body source-munging helper now lives in the workload registry; bench
+# modules keep importing it from here)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 EXAMPLES_LOL = REPO_ROOT / "examples" / "lol"
@@ -32,18 +35,3 @@ def print_table(title: str, header: list[str], rows: list[list[object]]) -> None
         print("  " + " | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
 
 
-def nbody_source(particles: int, steps: int) -> str:
-    """The (race-fixed) Section VI.D listing scaled for bench runtimes.
-
-    Every *standalone* literal ``32`` in the listing is the particle
-    count (some occurrences sit on ``...`` continuation lines).  The
-    substitution is word-bounded so a literal that merely *contains*
-    ``32`` (or a particle count that itself contains ``32``, like 320 —
-    which a plain ``str.replace`` would corrupt on a second scaling
-    pass) can never clobber unrelated constants; same for the step
-    count's ``time AN 10`` loop bound.
-    """
-    src = (EXAMPLES_LOL / "nbody2d_fixed.lol").read_text()
-    src = re.sub(r"\b32\b", str(particles), src)
-    src = re.sub(r"\btime AN 10\b", f"time AN {steps}", src)
-    return src

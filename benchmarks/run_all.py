@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Engine-tagged benchmark runner: writes ``BENCH_interp.json``.
 
-Times the paper's kernels through every execution path — the ``ast``
-tree-walker, the ``closure`` engine (default since this file appeared),
-and the compiled-Python backend — and records wall-clock plus speedups
-vs the tree-walker, so the interpreter performance trajectory is tracked
-from PR to PR::
+A thin wrapper over the :mod:`repro.bench` orchestrator's timing
+machinery: kernels come from the :mod:`repro.workloads` registry (plus
+the two paper listings that are not registry workloads), timing is the
+orchestrator's ``best_of``, and the historical ``BENCH_interp.json``
+schema is preserved so the interpreter performance trajectory stays
+comparable from PR to PR::
 
     PYTHONPATH=src python benchmarks/run_all.py [--reps 5] [--out BENCH_interp.json]
 
@@ -14,6 +15,9 @@ The JSON schema (one entry per bench x engine)::
     {"meta": {...}, "results": [
         {"bench": "nbody_8p2s", "engine": "closure", "n_pes": 2,
          "seconds": 0.004, "speedup_vs_ast": 3.9}, ...]}
+
+For the full workload matrix (checkers, cross-engine differentials, NoC
+projections, baseline regression mode) use ``python -m repro.bench``.
 """
 
 from __future__ import annotations
@@ -23,17 +27,18 @@ import json
 import pathlib
 import platform
 import sys
-import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import run_lolcode  # noqa: E402
+from repro.bench import best_of  # noqa: E402
 from repro.compiler import compile_python, load_pe_main  # noqa: E402
 from repro.shmem import run_spmd  # noqa: E402
+from repro.workloads import nbody_source  # noqa: E402
 
 sys.path.insert(0, str(REPO_ROOT))
-from benchmarks.conftest import lol, nbody_source  # noqa: E402
+from benchmarks.conftest import lol  # noqa: E402
 
 BARRIER_SRC = (REPO_ROOT / "examples" / "lol" / "barrier.lol").read_text()
 LOCKS_SRC = (REPO_ROOT / "examples" / "lol" / "locks.lol").read_text()
@@ -56,15 +61,6 @@ BENCHES = [
 ]
 
 
-def _best_of(fn, reps: int) -> float:
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def run_benches(reps: int) -> list[dict]:
     results: list[dict] = []
     for name, src, n_pes in BENCHES:
@@ -72,11 +68,11 @@ def run_benches(reps: int) -> list[dict]:
         for engine in ("ast", "closure"):
             fn = lambda: run_lolcode(src, n_pes, seed=42, engine=engine)  # noqa: E731
             fn()  # warm parse/compile caches
-            timings[engine] = _best_of(fn, reps)
+            timings[engine] = best_of(fn, reps)
         pe_main = load_pe_main(compile_python(src))
         fn = lambda: run_spmd(pe_main, n_pes, seed=42)  # noqa: E731
         fn()
-        timings["py_backend"] = _best_of(fn, reps)
+        timings["py_backend"] = best_of(fn, reps)
         for engine, seconds in timings.items():
             results.append(
                 {

@@ -12,9 +12,12 @@ naturally:
 * halo exchange is two predicated one-sided puts (`TXT MAH BFF`),
 * `HUGZ` separates exchange from compute (exactly Figure 2's lesson).
 
-Afterwards the run's op trace is rendered as a communication matrix —
-you can *see* the nearest-neighbour pattern — and replayed on the
-Epiphany/Cray models.
+The kernel itself comes from the workload registry (the ``heat1d``
+workload in :mod:`repro.workloads`), so this example, the ``lolbench``
+orchestrator, and the test suite all run the same source and cannot
+drift.  Afterwards the run's op trace is rendered as a communication
+matrix — you can *see* the nearest-neighbour pattern — and replayed on
+the Epiphany/Cray models.
 
 Usage::
 
@@ -26,58 +29,7 @@ import argparse
 from repro import run_lolcode
 from repro.noc import cray_xc40, epiphany_iii
 from repro.noc.report import render_report
-
-# Cells are stored in slots 1..N of a symmetric array; slots 0 and N+1
-# are the halo cells owned by the neighbours.
-HEAT_LOL = """\
-HAI 1.2
-WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {halo_size}
-I HAS A unew ITZ LOTZ A NUMBARS AN THAR IZ {halo_size}
-
-I HAS A left ITZ MOD OF SUM OF ME AN DIFF OF MAH FRENZ AN 1 AN MAH FRENZ
-I HAS A rite ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
-
-BTW initial condition: PE 0's first cell is hot (u=100), rest cold
-BOTH SAEM ME AN 0, O RLY?
-YA RLY,
-  u'Z 1 R 100.0
-OIC
-HUGZ
-
-IM IN YR step UPPIN YR t TIL BOTH SAEM t AN {steps}
-  BTW halo exchange: push my boundary cells into my neighbours' halos
-  TXT MAH BFF left, UR u'Z {last_halo} R MAH u'Z 1
-  TXT MAH BFF rite, UR u'Z 0 R MAH u'Z {cells}
-  HUGZ
-
-  BTW explicit Euler: unew[i] = u[i] + k*(u[i-1] - 2u[i] + u[i+1])
-  IM IN YR cell UPPIN YR i TIL BOTH SAEM i AN {cells}
-    I HAS A c ITZ SUM OF i AN 1
-    I HAS A lap ITZ SUM OF u'Z DIFF OF c AN 1 AN u'Z SUM OF c AN 1
-    lap R DIFF OF lap AN PRODUKT OF 2.0 AN u'Z c
-    unew'Z c R SUM OF u'Z c AN PRODUKT OF 0.25 AN lap
-  IM OUTTA YR cell
-
-  BTW PE 0's first cell is a maintained heat source (stays at 100)
-  BOTH SAEM ME AN 0, O RLY?
-  YA RLY,
-    unew'Z 1 R u'Z 1
-  OIC
-
-  HUGZ
-  IM IN YR copy UPPIN YR i TIL BOTH SAEM i AN {cells}
-    u'Z SUM OF i AN 1 R unew'Z SUM OF i AN 1
-  IM OUTTA YR copy
-  HUGZ
-IM OUTTA YR step
-
-I HAS A total ITZ SRSLY A NUMBAR
-IM IN YR add UPPIN YR i TIL BOTH SAEM i AN {cells}
-  total R SUM OF total AN u'Z SUM OF i AN 1
-IM OUTTA YR add
-VISIBLE "PE " ME " BLOCK HEAT:: " total
-KTHXBYE
-"""
+from repro.workloads import get_workload
 
 
 def main() -> None:
@@ -87,18 +39,19 @@ def main() -> None:
     parser.add_argument("--steps", type=int, default=40)
     args = parser.parse_args()
 
-    src = HEAT_LOL.format(
-        cells=args.cells,
-        halo_size=args.cells + 2,
-        last_halo=args.cells + 1,
-        steps=args.steps,
-    )
-    result = run_lolcode(src, args.pes, seed=1, trace=True)
+    heat = get_workload("heat1d")
+    params = heat.bind_params({"cells": args.cells, "steps": args.steps})
+    result = run_lolcode(heat.source(params), args.pes, seed=1, trace=True)
     print(result.output, end="")
+
+    problems = heat.check(result, args.pes, params)
+    if problems:
+        raise SystemExit(f"registry checker failed: {problems}")
     heats = [float(out.split(":")[1]) for out in result.outputs]
     print(
         f"\ntotal heat in ring: {sum(heats):.2f} "
-        f"(diffusing both ways from the source on PE 0)\n"
+        f"(diffusing both ways from the source on PE 0; "
+        f"verified against the registry checker)\n"
     )
     print(render_report(result.trace, [epiphany_iii(), cray_xc40()]))
 

@@ -13,18 +13,12 @@ Usage::
 """
 
 import argparse
-import pathlib
-import sys
 import time
 
 from repro import run_lolcode
 from repro.compiler import run_compiled
 from repro.noc import cray_xc40, epiphany_iii, estimate
-
-HERE = pathlib.Path(__file__).resolve().parent
-sys.path.insert(0, str(HERE.parent))
-
-from benchmarks.conftest import nbody_source as load_nbody  # noqa: E402
+from repro.workloads import nbody_source as load_nbody
 
 
 def main() -> None:

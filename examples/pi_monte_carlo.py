@@ -6,6 +6,10 @@ Every PE throws darts with its own WHATEVAR stream, writes its hit count
 into a symmetric array slot on PE 0 (one-sided put — no receive code,
 the PGAS teaching point), and PE 0 reduces after a HUGZ.
 
+The kernel comes from the workload registry (the ``pi_montecarlo``
+workload in :mod:`repro.workloads`), so this example and the bench
+orchestrator always run the same source.
+
 Also demonstrates the process executor: with ``--executor process`` the
 same program runs on real OS processes over shared memory.
 
@@ -18,41 +22,7 @@ Usage::
 import argparse
 
 from repro import run_lolcode
-
-PI_LOL = """\
-HAI 1.2
-BTW one symmetric slot per PE, all living on PE 0's partition view
-WE HAS A hits ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {pes}
-I HAS A mine ITZ A NUMBR AN ITZ 0
-
-IM IN YR throw UPPIN YR i TIL BOTH SAEM i AN {darts}
-  I HAS A x ITZ WHATEVAR
-  I HAS A y ITZ WHATEVAR
-  I HAS A d ITZ SUM OF SQUAR OF x AN SQUAR OF y
-  SMALLR d AN 1.0, O RLY?
-  YA RLY,
-    mine R SUM OF mine AN 1
-  OIC
-IM OUTTA YR throw
-
-BTW one-sided put of my tally into slot ME on PE 0
-TXT MAH BFF 0, UR hits'Z ME R mine
-
-HUGZ
-
-BOTH SAEM ME AN 0, O RLY?
-YA RLY,
-  I HAS A total ITZ A NUMBR AN ITZ 0
-  IM IN YR add UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
-    total R SUM OF total AN hits'Z k
-  IM OUTTA YR add
-  I HAS A pi ITZ QUOSHUNT OF PRODUKT OF 4.0 AN total ...
-    AN PRODUKT OF {darts}.0 AN MAH FRENZ
-  VISIBLE "PI IZ BOUT " pi " (" total " HITZ OV " ...
-    PRODUKT OF {darts} AN MAH FRENZ " DARTZ)"
-OIC
-KTHXBYE
-"""
+from repro.workloads import get_workload
 
 
 def main() -> None:
@@ -65,11 +35,16 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2017)
     args = parser.parse_args()
 
-    src = PI_LOL.format(pes=args.pes, darts=args.darts)
+    pi = get_workload("pi_montecarlo")
+    params = pi.bind_params({"darts": args.darts})
     result = run_lolcode(
-        src, args.pes, executor=args.executor, seed=args.seed
+        pi.source(params), args.pes, executor=args.executor, seed=args.seed
     )
     print(result.output, end="")
+
+    problems = pi.check(result, args.pes, params)
+    if problems:
+        raise SystemExit(f"registry checker failed: {problems}")
     print(
         f"({args.pes} PEs x {args.darts} darts on the "
         f"{args.executor} executor)"

@@ -1,2 +1,22 @@
-from setuptools import setup
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-lolcode",
+    version="1.0.0",
+    description="Reproduction of 'I Can Has Supercomputer?' — parallel "
+    "LOLCODE over an OpenSHMEM-like SPMD/PGAS runtime",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.workloads": ["lol/*.lol"]},
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "lcc=repro.cli:lcc_main",
+            "loli=repro.cli:loli_main",
+            "lolrun=repro.cli:lolrun_main",
+            "lollint=repro.cli:lollint_main",
+            "lolfmt=repro.cli:lolfmt_main",
+            "lolbench=repro.cli:lolbench_main",
+        ]
+    },
+)

@@ -1,0 +1,114 @@
+"""Regression comparison against a stored ``BENCH_workloads.json``.
+
+``lolbench --baseline old.json`` reruns the sweep and compares each
+(workload, engine, executor, n_pes) cell's best-of-reps seconds against
+the stored run.  A cell regresses when it is more than ``threshold``
+(default 20%) slower *and* the absolute slowdown exceeds a small noise
+floor (interpreter cells can be sub-millisecond, where best-of timing
+jitter alone exceeds 20%).  Any regression makes the CLI exit non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: absolute slowdown (seconds) below which a ratio miss is noise
+NOISE_FLOOR_S = 0.002
+
+Key = Tuple[str, str, str, int, Tuple[Tuple[str, int], ...]]
+
+
+def _key(row: Mapping) -> Key:
+    # Params are part of the identity: a smoke-sized cell must never be
+    # compared against a full-sized one (the "regression" would just be
+    # the problem size).
+    return (
+        str(row["workload"]),
+        str(row["engine"]),
+        str(row["executor"]),
+        int(row["n_pes"]),
+        tuple(sorted(row.get("params", {}).items())),
+    )
+
+
+def _render_key(key: Key) -> str:
+    name, engine, executor, n_pes, params = key
+    cell = f"{name}/{engine}/{executor}/{n_pes}"
+    if params:
+        cell += "[" + ",".join(f"{k}={v}" for k, v in params) + "]"
+    return cell
+
+
+def _timed_rows(payload: Mapping) -> Dict[Key, float]:
+    return {
+        _key(row): float(row["seconds"])
+        for row in payload.get("results", [])
+        if "seconds" in row
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    key: Key
+    baseline_s: float
+    current_s: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_s <= 0.0:
+            return float("inf") if self.current_s > 0.0 else 1.0
+        return self.current_s / self.baseline_s
+
+    def is_regression(self, threshold: float) -> bool:
+        return (
+            self.ratio > 1.0 + threshold
+            and self.current_s - self.baseline_s > NOISE_FLOOR_S
+        )
+
+
+def compare_to_baseline(
+    current: Mapping, baseline: Mapping
+) -> List[Comparison]:
+    """Pair up every cell present in both payloads."""
+    base = _timed_rows(baseline)
+    cur = _timed_rows(current)
+    return [
+        Comparison(key, base[key], cur[key])
+        for key in sorted(cur)
+        if key in base
+    ]
+
+
+def render_comparison(
+    comparisons: Sequence[Comparison], threshold: float
+) -> str:
+    """Terminal report; regressions are flagged on their row."""
+    if not comparisons:
+        return (
+            "baseline comparison: no overlapping cells (same workloads, "
+            "engines, executors, PE counts, and parameter sizes?)"
+        )
+    width = max(len(_render_key(c.key)) for c in comparisons)
+    lines = [
+        f"{'cell':<{width}} {'baseline':>10} {'current':>10} {'ratio':>7}"
+    ]
+    for c in comparisons:
+        flag = "  << REGRESSION" if c.is_regression(threshold) else ""
+        lines.append(
+            f"{_render_key(c.key):<{width}} {c.baseline_s:>10.4f} "
+            f"{c.current_s:>10.4f} {c.ratio:>6.2f}x{flag}"
+        )
+    regressions = [c for c in comparisons if c.is_regression(threshold)]
+    lines.append(
+        f"{len(comparisons)} cells compared, {len(regressions)} "
+        f"regression(s) beyond {threshold:.0%} (+{NOISE_FLOOR_S * 1e3:.0f}ms "
+        "noise floor)"
+    )
+    return "\n".join(lines)
+
+
+def regressions(
+    comparisons: Sequence[Comparison], threshold: float
+) -> List[Comparison]:
+    return [c for c in comparisons if c.is_regression(threshold)]

@@ -1,0 +1,172 @@
+"""The ``lolbench`` command line (also ``python -m repro.bench``).
+
+Examples::
+
+    lolbench                               # full sweep -> BENCH_workloads.json
+    lolbench --smoke --reps 2              # CI-sized run
+    lolbench --workloads heat2d scan --pes 1 2 4
+    lolbench --set nbody.particles=16 --set nbody.steps=4
+    lolbench --baseline BENCH_workloads.json   # non-zero exit on >20% slowdown
+    lolbench --list                        # show the registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, Optional, Sequence
+
+from ..launcher import ENGINES, EXECUTORS
+from ..workloads import WorkloadError, all_workloads, get_workload
+from .baseline import compare_to_baseline, regressions, render_comparison
+from .orchestrator import SweepConfig, render_results, run_sweep
+
+DEFAULT_OUT = "BENCH_workloads.json"
+
+
+def _parse_set(entries: Sequence[str]) -> Dict[str, Dict[str, int]]:
+    """``--set workload.param=value`` overrides -> nested dict."""
+    params: Dict[str, Dict[str, int]] = {}
+    for entry in entries:
+        try:
+            dotted, value = entry.split("=", 1)
+            workload, param = dotted.split(".", 1)
+            params.setdefault(workload, {})[param] = int(value)
+        except ValueError:
+            raise WorkloadError(
+                f"bad --set {entry!r} (expected workload.param=int)"
+            ) from None
+    for name, overrides in params.items():
+        # Typo-proofing: an unknown workload/param or an out-of-range
+        # value must fail loudly here, before any cell has been swept.
+        for param, value in overrides.items():
+            get_workload(name).param(param).validate(value)
+    return params
+
+
+def _render_registry() -> str:
+    rows = [(w.name, w.domain, w.comm_pattern) for w in all_workloads()]
+    widths = [max(len(r[i]) for r in rows + [("name", "domain", "comm pattern")]) for i in range(3)]
+    lines = [
+        f"{'name':<{widths[0]}}  {'domain':<{widths[1]}}  comm pattern",
+        f"{'-' * widths[0]}  {'-' * widths[1]}  {'-' * widths[2]}",
+    ]
+    for w in all_workloads():
+        lines.append(
+            f"{w.name:<{widths[0]}}  {w.domain:<{widths[1]}}  {w.comm_pattern}"
+        )
+        for p in w.params:
+            lines.append(
+                f"  {'':<{widths[0]}}--set {w.name}.{p.name}=N "
+                f"(default {p.default}): {p.doc}"
+            )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lolbench",
+        description="workload sweep orchestrator: engine x executor x "
+        "PE-count with checker + differential verification and NoC "
+        "machine-model projections",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, metavar="NAME",
+        help="workloads to run (default: every registered workload)",
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=tuple(ENGINES),
+        choices=ENGINES, help="interpreter engines to sweep",
+    )
+    parser.add_argument(
+        "--executors", nargs="+", default=("thread",), choices=EXECUTORS,
+        help="PE executors to sweep (default: thread)",
+    )
+    parser.add_argument(
+        "--pes", nargs="+", type=int, default=(1, 4), metavar="N",
+        help="PE counts to sweep (default: 1 4)",
+    )
+    parser.add_argument("--reps", type=int, default=3, help="best-of reps")
+    parser.add_argument("--seed", type=int, default=42, help="RNG seed")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use each workload's small smoke parameters (CI sizes)",
+    )
+    parser.add_argument(
+        "--set", action="append", default=[], metavar="WORKLOAD.PARAM=N",
+        dest="overrides", help="override a workload parameter",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, help=f"output JSON (default {DEFAULT_OUT})"
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="JSON",
+        help="compare against a stored BENCH_workloads.json; exit non-zero "
+        "on regressions",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="regression threshold as a fraction (default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered workloads and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print(_render_registry())
+        return 0
+    baseline_payload = None
+    if args.baseline:
+        # Load before the sweep: a typo'd path must not cost a full run.
+        try:
+            baseline_payload = json.loads(
+                pathlib.Path(args.baseline).read_text()
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"lolbench: bad --baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        config = SweepConfig(
+            workloads=tuple(args.workloads or ()),
+            engines=tuple(args.engines),
+            executors=tuple(args.executors),
+            pe_counts=tuple(args.pes),
+            reps=args.reps,
+            seed=args.seed,
+            smoke=args.smoke,
+            params=_parse_set(args.overrides),
+        )
+        config.selected()  # validate workload names before sweeping
+        payload = run_sweep(config)
+    except WorkloadError as exc:
+        print(f"lolbench: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_results(payload["results"]))
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    exit_code = 0
+    if payload["failures"]:
+        print(f"\n{len(payload['failures'])} verification failure(s):",
+              file=sys.stderr)
+        for failure in payload["failures"]:
+            print(f"  {failure}", file=sys.stderr)
+        exit_code = 1
+
+    if baseline_payload is not None:
+        comparisons = compare_to_baseline(payload, baseline_payload)
+        print()
+        print(render_comparison(comparisons, args.threshold))
+        if regressions(comparisons, args.threshold):
+            exit_code = exit_code or 3
+    return exit_code

@@ -7,6 +7,8 @@
 * ``loli`` — serial reference interpreter (the role of ``lci``).
 * ``lolrun`` — SPMD launcher, the ``coprsh`` / ``aprun`` analogue:
   ``lolrun -np 16 code.lol``.
+* ``lolbench`` — workload sweep orchestrator over the
+  :mod:`repro.workloads` registry (also ``python -m repro.bench``).
 """
 
 from __future__ import annotations
@@ -182,6 +184,13 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
     for report in result.races:
         print(f"[race] {report.describe()}", file=sys.stderr)
     return 2 if result.races else 0
+
+
+def lolbench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Workload sweep orchestrator (thin alias for ``repro.bench.main``)."""
+    from .bench import main
+
+    return main(argv)
 
 
 def lollint_main(argv: Optional[Sequence[str]] = None) -> int:

@@ -18,6 +18,7 @@ from .report import (
     comm_matrix,
     render_activity,
     render_comm_matrix,
+    projection_rows,
     render_machine_costs,
     render_report,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "comm_matrix",
     "render_activity",
     "render_comm_matrix",
+    "projection_rows",
     "render_machine_costs",
     "render_report",
 ]

@@ -64,6 +64,15 @@ def render_activity(trace: WorldTrace) -> str:
     return "\n".join(lines)
 
 
+def projection_rows(
+    trace: WorldTrace, machines: list[MachineModel]
+) -> list[dict]:
+    """Machine-model cost projections as JSON-ready rows (one per
+    machine) — the structured counterpart of :func:`render_machine_costs`,
+    used by the ``repro.bench`` orchestrator for ``BENCH_workloads.json``."""
+    return [estimate(trace, machine).row() for machine in machines]
+
+
 def render_machine_costs(
     trace: WorldTrace, machines: list[MachineModel]
 ) -> str:

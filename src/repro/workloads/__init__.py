@@ -1,0 +1,63 @@
+"""Declarative workload registry (the benchbuild-style project table).
+
+Importing this package registers every bundled workload; use
+:func:`get_workload` / :func:`all_workloads` to look them up, and
+:mod:`repro.bench` to sweep them across engine x executor x PE-count::
+
+    from repro.workloads import get_workload
+    from repro import run_lolcode
+
+    w = get_workload("heat2d")
+    params = w.bind_params({"steps": 5})
+    result = run_lolcode(w.source(params), 4, seed=1)
+    assert w.check(result, 4, params) == []
+
+Registered workloads (see the README table):
+
+============= ==================== ===================================
+name          domain               communication pattern
+============= ==================== ===================================
+ring          microbenchmark       nearest-neighbour ring
+transpose     linear algebra       all-to-all
+heat1d        PDE / stencil        nearest-neighbour halo (ring)
+heat2d        PDE / stencil        row-block halo exchange
+nbody         particle dynamics    all-pairs block gets
+nbody_racy    particle dynamics    all-pairs block gets (racy)
+tree_reduce   collectives          binomial tree
+scan          collectives          distance-doubling gets
+histogram     data analytics       all-to-one under a symbol lock
+pi_montecarlo Monte-Carlo          all-to-one (one put per PE)
+============= ==================== ===================================
+"""
+
+from .base import (
+    WORKLOADS,
+    Param,
+    Workload,
+    WorkloadError,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+
+# Importing the kernel modules populates the registry.
+from . import comm  # noqa: F401  (ring, transpose)
+from . import montecarlo  # noqa: F401  (pi_montecarlo)
+from . import nbody  # noqa: F401  (nbody, nbody_racy)
+from . import reduction  # noqa: F401  (tree_reduce, scan, histogram)
+from . import stencil  # noqa: F401  (heat1d, heat2d)
+
+from .nbody import nbody_source
+
+__all__ = [
+    "WORKLOADS",
+    "Param",
+    "Workload",
+    "WorkloadError",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+    "nbody_source",
+]

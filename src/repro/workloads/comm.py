@@ -1,0 +1,125 @@
+"""Pure communication-pattern workloads: ring transfer and all-to-all
+transpose.
+
+``ring`` is the registry's version of the paper's Section VI.A listing
+(``examples/lol/ring.lol``): each PE publishes ``pe * scale`` in its
+partition of a symmetric array and reads its right neighbour's slot —
+one remote get per PE, the nearest-neighbour baseline every comm matrix
+demo starts from.
+
+``transpose`` is the opposite extreme: an n_pes x n_pes matrix with one
+row per PE is transposed with one one-sided put per element — every PE
+talks to every other PE (the dense all-to-all that stresses bisection
+bandwidth on the modeled machines).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..shmem.runtime_threads import SpmdResult
+from .base import Param, Workload, register
+
+RING_LOL = """\
+HAI 1.2
+BTW ring transfer (Section VI.A): publish, HUGZ, read right neighbour
+WE HAS A buket ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {slots}
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A next_pe ITZ A NUMBR AN ITZ MOD OF SUM OF pe AN 1 AN MAH FRENZ
+buket'Z 0 R PRODUKT OF pe AN {scale}
+HUGZ
+I HAS A got ITZ A NUMBR
+TXT MAH BFF next_pe, got R UR buket'Z 0
+VISIBLE "HAI ITZ :{{pe}} I GOT :{{got}} FRUM MAH BFF :{{next_pe}}"
+KTHXBYE
+"""
+
+
+def _ring_source(params: Mapping[str, int]) -> str:
+    return RING_LOL.format(slots=params["slots"], scale=params["scale"])
+
+
+def _ring_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    problems: List[str] = []
+    scale = params["scale"]
+    for pe, out in enumerate(result.outputs):
+        nxt = (pe + 1) % n_pes
+        want = f"HAI ITZ {pe} I GOT {nxt * scale} FRUM MAH BFF {nxt}\n"
+        if out != want:
+            problems.append(f"PE {pe}: got {out!r}, expected {want!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="ring",
+        domain="microbenchmark",
+        comm_pattern="nearest-neighbour ring",
+        description="one-sided get from the right neighbour around a ring "
+        "(paper Section VI.A)",
+        source_fn=_ring_source,
+        check_fn=_ring_check,
+        params=(
+            Param("slots", 32, 1, doc="symmetric array length per PE"),
+            Param("scale", 1000, 1, doc="value published is pe * scale"),
+        ),
+        smoke={"slots": 4},
+    )
+)
+
+
+TRANSPOSE_LOL = """\
+HAI 1.2
+BTW all-to-all: PE i owns row i; element (i, j) travels to PE j slot i
+WE HAS A row ITZ SRSLY LOTZ A NUMBRS AN THAR IZ MAH FRENZ
+WE HAS A col ITZ SRSLY LOTZ A NUMBRS AN THAR IZ MAH FRENZ
+IM IN YR fill UPPIN YR j TIL BOTH SAEM j AN MAH FRENZ
+  row'Z j R SUM OF PRODUKT OF ME AN {scale} AN j
+IM OUTTA YR fill
+HUGZ
+IM IN YR send UPPIN YR j TIL BOTH SAEM j AN MAH FRENZ
+  TXT MAH BFF j, UR col'Z ME R MAH row'Z j
+IM OUTTA YR send
+HUGZ
+I HAS A acc ITZ A NUMBR AN ITZ 0
+IM IN YR add UPPIN YR j TIL BOTH SAEM j AN MAH FRENZ
+  acc R SUM OF acc AN col'Z j
+IM OUTTA YR add
+VISIBLE "PE " ME " COLSUM:: " acc
+KTHXBYE
+"""
+
+
+def _transpose_source(params: Mapping[str, int]) -> str:
+    return TRANSPOSE_LOL.format(scale=params["scale"])
+
+
+def _transpose_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    # After the transpose PE i holds col[j] = j * scale + i, so its
+    # checksum is scale * n(n-1)/2 + n * i.
+    problems: List[str] = []
+    scale = params["scale"]
+    base = scale * n_pes * (n_pes - 1) // 2
+    for pe, out in enumerate(result.outputs):
+        want = f"PE {pe} COLSUM: {base + n_pes * pe}\n"
+        if out != want:
+            problems.append(f"PE {pe}: got {out!r}, expected {want!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="transpose",
+        domain="linear algebra",
+        comm_pattern="all-to-all",
+        description="n_pes x n_pes matrix transpose, one one-sided put per "
+        "element (dense all-to-all)",
+        source_fn=_transpose_source,
+        check_fn=_transpose_check,
+        params=(Param("scale", 10, 1, doc="row i holds i*scale + j"),),
+    )
+)

@@ -1,0 +1,79 @@
+HAI 1.2
+BTW Section VI.D - teh parallel 2-D n-body application (race-fixed).
+BTW Each PE owns 32 particlz in symmetric arrays pos_x/pos_y; every
+BTW step it fetches every PE's block (element gets thru TXT MAH BFF),
+BTW accumulates softened all-pairs attraction, then integrates.
+BTW This version adds teh HUGZ missing frum teh paper's listing
+BTW between initialization an teh first force phase.
+CAN HAS STDIO?
+I HAS A pe ITZ A NUMBR AN ITZ ME
+I HAS A n_pes ITZ A NUMBR AN ITZ MAH FRENZ
+VISIBLE "HAI ITZ :{pe} I HAS PARTICLZ 2 MUV"
+WE HAS A pos_x ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ 32
+WE HAS A pos_y ITZ SRSLY LOTZ A NUMBARS ...
+  AN THAR IZ 32
+I HAS A vel_x ITZ LOTZ A NUMBARS AN THAR IZ 32
+I HAS A vel_y ITZ LOTZ A NUMBARS AN THAR IZ 32
+I HAS A acc_x ITZ LOTZ A NUMBARS AN THAR IZ 32
+I HAS A acc_y ITZ LOTZ A NUMBARS AN THAR IZ 32
+I HAS A tmp_x ITZ LOTZ A NUMBARS AN THAR IZ 32
+I HAS A tmp_y ITZ LOTZ A NUMBARS AN THAR IZ 32
+I HAS A dt ITZ 0.01
+IM IN YR initloop UPPIN YR i TIL BOTH SAEM i AN 32
+  pos_x'Z i R WHATEVAR
+  pos_y'Z i R WHATEVAR
+  vel_x'Z i R 0.0
+  vel_y'Z i R 0.0
+IM OUTTA YR initloop
+HUGZ
+IM IN YR steploop UPPIN YR time TIL BOTH SAEM time AN 10
+  IM IN YR clearloop UPPIN YR i TIL BOTH SAEM i AN 32
+    acc_x'Z i R 0.0
+    acc_y'Z i R 0.0
+  IM OUTTA YR clearloop
+  IM IN YR peloop UPPIN YR p TIL BOTH SAEM p AN n_pes
+    BOTH SAEM p AN pe
+    O RLY?
+      YA RLY
+        IM IN YR cploop UPPIN YR j TIL BOTH SAEM j AN 32
+          tmp_x'Z j R pos_x'Z j
+          tmp_y'Z j R pos_y'Z j
+        IM OUTTA YR cploop
+      NO WAI
+        TXT MAH BFF p AN STUFF,
+          IM IN YR getloop UPPIN YR j TIL BOTH SAEM j AN 32
+            tmp_x'Z j R UR pos_x'Z j
+            tmp_y'Z j R UR pos_y'Z j
+          IM OUTTA YR getloop
+        TTYL
+    OIC
+    IM IN YR iloop UPPIN YR i TIL BOTH SAEM i AN 32
+      I HAS A myx ITZ pos_x'Z i
+      I HAS A myy ITZ pos_y'Z i
+      IM IN YR jloop UPPIN YR j TIL BOTH SAEM j AN 32
+        I HAS A dx ITZ DIFF OF tmp_x'Z j AN myx
+        I HAS A dy ITZ DIFF OF tmp_y'Z j AN myy
+        I HAS A d2 ITZ SUM OF PRODUKT OF dx AN dx ...
+          AN SUM OF PRODUKT OF dy AN dy AN 0.1
+        I HAS A invd ITZ FLIP OF UNSQUAR OF d2
+        I HAS A invd3 ITZ PRODUKT OF invd AN PRODUKT OF invd AN invd
+        acc_x'Z i R SUM OF acc_x'Z i AN PRODUKT OF dx AN invd3
+        acc_y'Z i R SUM OF acc_y'Z i AN PRODUKT OF dy AN invd3
+      IM OUTTA YR jloop
+    IM OUTTA YR iloop
+  IM OUTTA YR peloop
+  HUGZ
+  IM IN YR uploop UPPIN YR i TIL BOTH SAEM i AN 32
+    vel_x'Z i R SUM OF vel_x'Z i AN PRODUKT OF acc_x'Z i AN dt
+    vel_y'Z i R SUM OF vel_y'Z i AN PRODUKT OF acc_y'Z i AN dt
+    pos_x'Z i R SUM OF pos_x'Z i AN PRODUKT OF vel_x'Z i AN dt
+    pos_y'Z i R SUM OF pos_y'Z i AN PRODUKT OF vel_y'Z i AN dt
+  IM OUTTA YR uploop
+  HUGZ
+IM OUTTA YR steploop
+VISIBLE "O HAI ITZ :{pe}, MAH PARTICLZ IZ::"
+IM IN YR shoutloop UPPIN YR i TIL BOTH SAEM i AN 32
+  VISIBLE pos_x'Z i " " pos_y'Z i
+IM OUTTA YR shoutloop
+KTHXBYE

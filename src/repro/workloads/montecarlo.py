@@ -1,0 +1,108 @@
+"""Monte-Carlo estimation of pi — the classic embarrassingly-parallel
+workload with a single all-to-one combine.
+
+This is the kernel behind ``examples/pi_monte_carlo.py`` (which imports
+it from here); the only difference from the original example text is
+that the symmetric tally array is sized with ``MAH FRENZ`` instead of a
+baked-in PE count, so the same source runs at any width.
+
+The checker is statistical-plus-structural: the printed dart total must
+be exact, the hit count in range, the printed estimate must equal
+4 * hits / darts at VISIBLE's 2-decimal grain, and for non-trivial dart
+counts the estimate must actually look like pi.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Mapping
+
+from ..shmem.runtime_threads import SpmdResult
+from .base import Param, Workload, register
+
+PI_LOL = """\
+HAI 1.2
+BTW one symmetric slot per PE, all living on PE 0's partition view
+WE HAS A hits ITZ SRSLY LOTZ A NUMBRS AN THAR IZ MAH FRENZ
+I HAS A mine ITZ A NUMBR AN ITZ 0
+
+IM IN YR throw UPPIN YR i TIL BOTH SAEM i AN {darts}
+  I HAS A x ITZ WHATEVAR
+  I HAS A y ITZ WHATEVAR
+  I HAS A d ITZ SUM OF SQUAR OF x AN SQUAR OF y
+  SMALLR d AN 1.0, O RLY?
+  YA RLY,
+    mine R SUM OF mine AN 1
+  OIC
+IM OUTTA YR throw
+
+BTW one-sided put of my tally into slot ME on PE 0
+TXT MAH BFF 0, UR hits'Z ME R mine
+
+HUGZ
+
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  I HAS A total ITZ A NUMBR AN ITZ 0
+  IM IN YR add UPPIN YR k TIL BOTH SAEM k AN MAH FRENZ
+    total R SUM OF total AN hits'Z k
+  IM OUTTA YR add
+  I HAS A pi ITZ QUOSHUNT OF PRODUKT OF 4.0 AN total ...
+    AN PRODUKT OF {darts}.0 AN MAH FRENZ
+  VISIBLE "PI IZ BOUT " pi " (" total " HITZ OV " ...
+    PRODUKT OF {darts} AN MAH FRENZ " DARTZ)"
+OIC
+KTHXBYE
+"""
+
+_PI_LINE = re.compile(
+    r"^PI IZ BOUT (?P<pi>[-\d.]+) \((?P<hits>\d+) HITZ OV "
+    r"(?P<darts>\d+) DARTZ\)$"
+)
+
+
+def _pi_source(params: Mapping[str, int]) -> str:
+    return PI_LOL.format(darts=params["darts"])
+
+
+def _pi_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    match = _PI_LINE.match(result.outputs[0].strip())
+    if not match:
+        return [f"PE 0: unexpected output {result.outputs[0]!r}"]
+    problems: List[str] = []
+    pi_est = float(match.group("pi"))
+    hits = int(match.group("hits"))
+    darts = int(match.group("darts"))
+    want_darts = params["darts"] * n_pes
+    if darts != want_darts:
+        problems.append(f"dart total {darts}, expected {want_darts}")
+    if not 0 <= hits <= darts:
+        problems.append(f"hit count {hits} out of range 0..{darts}")
+    if abs(pi_est - 4.0 * hits / darts) > 0.005:
+        problems.append(
+            f"printed estimate {pi_est} inconsistent with {hits}/{darts}"
+        )
+    if want_darts >= 4000 and not 2.8 <= pi_est <= 3.5:
+        problems.append(f"estimate {pi_est} is not plausibly pi")
+    for pe, out in enumerate(result.outputs[1:], start=1):
+        if out:
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="pi_montecarlo",
+        domain="Monte-Carlo",
+        comm_pattern="all-to-one (one put per PE)",
+        description="darts-in-the-circle pi estimate; per-PE WHATEVAR "
+        "streams, tallies combined on PE 0 (examples/pi_monte_carlo.py "
+        "kernel)",
+        source_fn=_pi_source,
+        check_fn=_pi_check,
+        params=(Param("darts", 2000, 1, doc="darts thrown per PE"),),
+        smoke={"darts": 500},
+    )
+)

@@ -1,0 +1,124 @@
+"""The paper's Section VI.D 2-D n-body application, racy and fixed.
+
+The paper listings ``nbody2d.lol`` (kept faithful to the paper,
+including its missing initialization barrier) and ``nbody2d_fixed.lol``
+ship *inside* the package (``workloads/lol/``) so an installed
+``lolbench`` works outside a repo checkout; ``examples/lol/`` carries
+the same files for the documentation/paper-example tests, and a unit
+test asserts the two copies stay byte-identical.  :func:`nbody_source`
+scales a listing to a requested particle/step count — this is the
+single home of the regex-based substitution that used to live in
+``benchmarks/conftest.py``.
+
+``nbody`` (the fixed listing) checks structurally — headers, particle
+line counts, and that every coordinate is a finite, bounded float; the
+physics itself is covered by the cross-engine differential the bench
+orchestrator runs on every deterministic workload.  ``nbody_racy`` is
+registered with ``deterministic=False``: its output legitimately varies
+with thread scheduling (that is the paper's teaching point), so only the
+structural checker applies.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import re
+from typing import List, Mapping
+
+from ..shmem.runtime_threads import SpmdResult
+from .base import Param, Workload, register
+
+_PACKAGED_LOL = pathlib.Path(__file__).resolve().parent / "lol"
+
+
+def nbody_source(particles: int, steps: int, *, racy: bool = False) -> str:
+    """The Section VI.D listing scaled for bench runtimes.
+
+    Every *standalone* literal ``32`` in the listing is the particle
+    count (some occurrences sit on ``...`` continuation lines).  The
+    substitution is word-bounded so a literal that merely *contains*
+    ``32`` (or a particle count that itself contains ``32``, like 320 —
+    which a plain ``str.replace`` would corrupt on a second scaling
+    pass) can never clobber unrelated constants; same for the step
+    count's ``time AN 10`` loop bound.
+    """
+    name = "nbody2d.lol" if racy else "nbody2d_fixed.lol"
+    src = (_PACKAGED_LOL / name).read_text()
+    src = re.sub(r"\b32\b", str(particles), src)
+    src = re.sub(r"\btime AN 10\b", f"time AN {steps}", src)
+    return src
+
+
+def _nbody_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    particles = params["particles"]
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        lines = out.splitlines()
+        if len(lines) != particles + 2:
+            problems.append(
+                f"PE {pe}: expected {particles + 2} lines, got {len(lines)}"
+            )
+            continue
+        if lines[0] != f"HAI ITZ {pe} I HAS PARTICLZ 2 MUV":
+            problems.append(f"PE {pe}: bad header {lines[0]!r}")
+        if lines[1] != f"O HAI ITZ {pe}, MAH PARTICLZ IZ:":
+            problems.append(f"PE {pe}: bad trailer header {lines[1]!r}")
+        for i, line in enumerate(lines[2:]):
+            parts = line.split()
+            if len(parts) != 2:
+                problems.append(f"PE {pe} particle {i}: bad line {line!r}")
+                continue
+            for coord in parts:
+                value = float(coord)
+                if not math.isfinite(value) or abs(value) > 1e6:
+                    problems.append(
+                        f"PE {pe} particle {i}: implausible coordinate "
+                        f"{value!r}"
+                    )
+    return problems
+
+
+def _fixed_source(params: Mapping[str, int]) -> str:
+    return nbody_source(params["particles"], params["steps"])
+
+
+def _racy_source(params: Mapping[str, int]) -> str:
+    return nbody_source(params["particles"], params["steps"], racy=True)
+
+
+_NBODY_PARAMS = (
+    Param("particles", 8, 2, doc="particles per PE"),
+    Param("steps", 2, 1, doc="leapfrog timesteps"),
+)
+
+register(
+    Workload(
+        name="nbody",
+        domain="particle dynamics",
+        comm_pattern="block gets from every PE (all-pairs)",
+        description="the paper's 2-D n-body listing with the missing "
+        "initialization barrier restored (nbody2d_fixed.lol)",
+        source_fn=_fixed_source,
+        check_fn=_nbody_check,
+        params=_NBODY_PARAMS,
+        smoke={"particles": 4, "steps": 1},
+    )
+)
+
+register(
+    Workload(
+        name="nbody_racy",
+        domain="particle dynamics",
+        comm_pattern="block gets from every PE (all-pairs)",
+        description="the paper's listing verbatim, data race included — "
+        "output varies with scheduling, so only structural checks apply",
+        source_fn=_racy_source,
+        check_fn=_nbody_check,
+        params=_NBODY_PARAMS,
+        smoke={"particles": 4, "steps": 1},
+        deterministic=False,
+    )
+)

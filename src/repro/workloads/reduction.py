@@ -1,0 +1,222 @@
+"""Collective-shaped workloads built from one-sided ops: binomial-tree
+reduction, Hillis-Steele inclusive prefix scan, and a lock-protected
+histogram.
+
+All three are exact integer computations, so their checkers compare
+against closed-form expectations (tree/scan) or conservation laws
+(histogram bin counts must sum to the number of draws) — and all three
+are deterministic, including the histogram: the locked merges commute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..shmem.runtime_threads import SpmdResult
+from .base import Param, Workload, register
+
+TREE_REDUCE_LOL = """\
+HAI 1.2
+BTW binomial tree: at stride s, PEs wif ME MOD 2s == 0 pull val frum
+BTW ME + s and fold it in; after log2(n) rounds PE 0 has teh total
+WE HAS A val ITZ SRSLY A NUMBR
+val R PRODUKT OF SUM OF ME AN 1 AN {scale}
+HUGZ
+I HAS A stride ITZ A NUMBR AN ITZ 1
+IM IN YR red WILE SMALLR stride AN MAH FRENZ
+  I HAS A twice ITZ A NUMBR AN ITZ PRODUKT OF stride AN 2
+  BOTH SAEM MOD OF ME AN twice AN 0, O RLY?
+  YA RLY,
+    I HAS A buddy ITZ A NUMBR AN ITZ SUM OF ME AN stride
+    SMALLR buddy AN MAH FRENZ, O RLY?
+    YA RLY,
+      I HAS A theirs ITZ A NUMBR
+      TXT MAH BFF buddy, theirs R UR val
+      val R SUM OF val AN theirs
+    OIC
+  OIC
+  HUGZ
+  stride R twice
+IM OUTTA YR red
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  VISIBLE "TREE SUM:: " val
+OIC
+KTHXBYE
+"""
+
+
+def _tree_source(params: Mapping[str, int]) -> str:
+    return TREE_REDUCE_LOL.format(scale=params["scale"])
+
+
+def _tree_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    want = f"TREE SUM: {params['scale'] * n_pes * (n_pes + 1) // 2}\n"
+    problems: List[str] = []
+    if result.outputs[0] != want:
+        problems.append(
+            f"PE 0: got {result.outputs[0]!r}, expected {want!r}"
+        )
+    for pe, out in enumerate(result.outputs[1:], start=1):
+        if out:
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="tree_reduce",
+        domain="collectives",
+        comm_pattern="binomial tree",
+        description="sum-reduction of per-PE values over a binomial tree "
+        "of one-sided gets (log2(n) rounds)",
+        source_fn=_tree_source,
+        check_fn=_tree_check,
+        params=(Param("scale", 10, 1, doc="PE i contributes (i+1)*scale"),),
+    )
+)
+
+
+SCAN_LOL = """\
+HAI 1.2
+BTW Hillis-Steele inclusive scan: at stride s every PE >= s folds in
+BTW teh value frum ME - s; double-barrier per round (read, den write)
+WE HAS A cur ITZ SRSLY A NUMBR
+cur R PRODUKT OF SUM OF ME AN 1 AN {scale}
+HUGZ
+I HAS A stride ITZ A NUMBR AN ITZ 1
+IM IN YR scan WILE SMALLR stride AN MAH FRENZ
+  I HAS A mine ITZ A NUMBR AN ITZ cur
+  BIGGER SUM OF ME AN 1 AN stride, O RLY?
+  YA RLY,
+    I HAS A theirs ITZ A NUMBR
+    TXT MAH BFF DIFF OF ME AN stride, theirs R UR cur
+    mine R SUM OF mine AN theirs
+  OIC
+  HUGZ
+  cur R mine
+  HUGZ
+  stride R PRODUKT OF stride AN 2
+IM OUTTA YR scan
+VISIBLE "PE " ME " PREFIX:: " cur
+KTHXBYE
+"""
+
+
+def _scan_source(params: Mapping[str, int]) -> str:
+    return SCAN_LOL.format(scale=params["scale"])
+
+
+def _scan_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    scale = params["scale"]
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        want = f"PE {pe} PREFIX: {scale * (pe + 1) * (pe + 2) // 2}\n"
+        if out != want:
+            problems.append(f"PE {pe}: got {out!r}, expected {want!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="scan",
+        domain="collectives",
+        comm_pattern="shifted gets (distance doubling)",
+        description="Hillis-Steele inclusive prefix sum across PEs, "
+        "log2(n) rounds of stride-doubled one-sided gets",
+        source_fn=_scan_source,
+        check_fn=_scan_check,
+        params=(Param("scale", 10, 1, doc="PE i contributes (i+1)*scale"),),
+    )
+)
+
+
+HISTOGRAM_LOL = """\
+HAI 1.2
+BTW every PE bins {draws} WHATEVAR draws locally, den merges its bins
+BTW into PE 0's shared histogram under teh symbol's global lock
+WE HAS A bins ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {bins} AN IM SHARIN IT
+I HAS A lokal ITZ LOTZ A NUMBRS AN THAR IZ {bins}
+HUGZ
+IM IN YR draw UPPIN YR i TIL BOTH SAEM i AN {draws}
+  I HAS A x ITZ WHATEVAR
+  I HAS A b ITZ A NUMBR AN ITZ MAEK PRODUKT OF x AN {bins} A NUMBR
+  lokal'Z b R SUM OF lokal'Z b AN 1
+IM OUTTA YR draw
+IM SRSLY MESIN WIF bins
+TXT MAH BFF 0 AN STUFF,
+  IM IN YR merge UPPIN YR k TIL BOTH SAEM k AN {bins}
+    UR bins'Z k R SUM OF UR bins'Z k AN lokal'Z k
+  IM OUTTA YR merge
+TTYL
+DUN MESIN WIF bins
+HUGZ
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  I HAS A tot ITZ A NUMBR AN ITZ 0
+  IM IN YR show UPPIN YR k TIL BOTH SAEM k AN {bins}
+    VISIBLE "BIN " k ":: " bins'Z k
+    tot R SUM OF tot AN bins'Z k
+  IM OUTTA YR show
+  VISIBLE "TOTAL:: " tot
+OIC
+KTHXBYE
+"""
+
+
+def _histogram_source(params: Mapping[str, int]) -> str:
+    return HISTOGRAM_LOL.format(bins=params["bins"], draws=params["draws"])
+
+
+def _histogram_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    bins, draws = params["bins"], params["draws"]
+    problems: List[str] = []
+    lines = result.outputs[0].splitlines()
+    if len(lines) != bins + 1:
+        return [
+            f"PE 0: expected {bins + 1} lines, got {len(lines)}: "
+            f"{result.outputs[0]!r}"
+        ]
+    total = 0
+    for k, line in enumerate(lines[:-1]):
+        prefix = f"BIN {k}: "
+        if not line.startswith(prefix):
+            problems.append(f"PE 0 line {k}: unexpected {line!r}")
+            continue
+        count = int(line[len(prefix):])
+        if count < 0:
+            problems.append(f"bin {k} negative: {count}")
+        total += count
+    want_total = draws * n_pes
+    if total != want_total:
+        problems.append(f"bins sum to {total}, expected {want_total}")
+    if lines[-1] != f"TOTAL: {want_total}":
+        problems.append(f"total line mismatch: {lines[-1]!r}")
+    for pe, out in enumerate(result.outputs[1:], start=1):
+        if out:
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="histogram",
+        domain="data analytics",
+        comm_pattern="all-to-one, lock-protected",
+        description="random draws binned locally, merged into PE 0's "
+        "shared histogram under the symbol lock (AN IM SHARIN IT)",
+        source_fn=_histogram_source,
+        check_fn=_histogram_check,
+        params=(
+            Param("bins", 8, 1, doc="histogram bins on PE 0"),
+            Param("draws", 200, 1, doc="WHATEVAR draws per PE"),
+        ),
+        smoke={"draws": 50},
+    )
+)

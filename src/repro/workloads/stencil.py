@@ -1,0 +1,315 @@
+"""Stencil workloads: 1-D and 2-D heat diffusion with halo exchange.
+
+``heat1d`` is the kernel behind ``examples/heat_diffusion.py`` (which
+imports it from here — single source of truth): each PE owns a block of
+a periodic ring with a maintained hot cell on PE 0, and every timestep
+pushes its two boundary cells into the neighbours' halo slots with
+predicated one-sided puts.
+
+``heat2d`` scales the same idea to a row-block-decomposed 2-D slab:
+each PE owns ``rows`` interior rows of a (rows * n_pes) x cols grid
+(cold fixed boundary, maintained hot cell on PE 0) and exchanges whole
+boundary rows with its up/down neighbours through ``TXT MAH BFF ... AN
+STUFF`` block puts.
+
+Both checkers re-run the simulation in plain Python with the exact same
+floating-point evaluation order, so the comparison only has to absorb
+VISIBLE's 2-decimal formatting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..shmem.runtime_threads import SpmdResult
+from .base import Param, Workload, approx_problems, register
+
+HEAT1D_LOL = """\
+HAI 1.2
+WE HAS A u ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {halo_size}
+I HAS A unew ITZ LOTZ A NUMBARS AN THAR IZ {halo_size}
+
+I HAS A left ITZ MOD OF SUM OF ME AN DIFF OF MAH FRENZ AN 1 AN MAH FRENZ
+I HAS A rite ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
+
+BTW initial condition: PE 0's first cell is hot (u=100), rest cold
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  u'Z 1 R 100.0
+OIC
+HUGZ
+
+IM IN YR step UPPIN YR t TIL BOTH SAEM t AN {steps}
+  BTW halo exchange: push my boundary cells into my neighbours' halos
+  TXT MAH BFF left, UR u'Z {last_halo} R MAH u'Z 1
+  TXT MAH BFF rite, UR u'Z 0 R MAH u'Z {cells}
+  HUGZ
+
+  BTW explicit Euler: unew[i] = u[i] + k*(u[i-1] - 2u[i] + u[i+1])
+  IM IN YR cell UPPIN YR i TIL BOTH SAEM i AN {cells}
+    I HAS A c ITZ SUM OF i AN 1
+    I HAS A lap ITZ SUM OF u'Z DIFF OF c AN 1 AN u'Z SUM OF c AN 1
+    lap R DIFF OF lap AN PRODUKT OF 2.0 AN u'Z c
+    unew'Z c R SUM OF u'Z c AN PRODUKT OF 0.25 AN lap
+  IM OUTTA YR cell
+
+  BTW PE 0's first cell is a maintained heat source (stays at 100)
+  BOTH SAEM ME AN 0, O RLY?
+  YA RLY,
+    unew'Z 1 R u'Z 1
+  OIC
+
+  HUGZ
+  IM IN YR copy UPPIN YR i TIL BOTH SAEM i AN {cells}
+    u'Z SUM OF i AN 1 R unew'Z SUM OF i AN 1
+  IM OUTTA YR copy
+  HUGZ
+IM OUTTA YR step
+
+I HAS A total ITZ SRSLY A NUMBAR
+IM IN YR add UPPIN YR i TIL BOTH SAEM i AN {cells}
+  total R SUM OF total AN u'Z SUM OF i AN 1
+IM OUTTA YR add
+VISIBLE "PE " ME " BLOCK HEAT:: " total
+KTHXBYE
+"""
+
+
+def _heat1d_source(params: Mapping[str, int]) -> str:
+    cells = params["cells"]
+    return HEAT1D_LOL.format(
+        cells=cells,
+        halo_size=cells + 2,
+        last_halo=cells + 1,
+        steps=params["steps"],
+    )
+
+
+def heat1d_reference(n_pes: int, cells: int, steps: int) -> List[float]:
+    """Block heat totals, mirroring the kernel's FP evaluation order."""
+    u = [[0.0] * (cells + 2) for _ in range(n_pes)]
+    u[0][1] = 100.0
+    for _ in range(steps):
+        for pe in range(n_pes):
+            left = (pe + n_pes - 1) % n_pes
+            rite = (pe + 1) % n_pes
+            u[left][cells + 1] = u[pe][1]
+            u[rite][0] = u[pe][cells]
+        # NB: the two puts above only write halo slots (0 and cells+1),
+        # which the update below never writes, so doing them in-place
+        # before the update matches the barrier-separated kernel.
+        new = [row[:] for row in u]
+        for pe in range(n_pes):
+            for i in range(cells):
+                c = i + 1
+                lap = u[pe][c - 1] + u[pe][c + 1]
+                lap = lap - 2.0 * u[pe][c]
+                new[pe][c] = u[pe][c] + 0.25 * lap
+        new[0][1] = u[0][1]
+        u = new
+    totals = []
+    for pe in range(n_pes):
+        total = 0.0
+        for i in range(cells):
+            total = total + u[pe][i + 1]
+        totals.append(total)
+    return totals
+
+
+def _heat1d_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    expected = heat1d_reference(n_pes, params["cells"], params["steps"])
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        prefix = f"PE {pe} BLOCK HEAT: "
+        line = out.strip()
+        if not line.startswith(prefix):
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+            continue
+        problems += approx_problems(
+            f"PE {pe} block heat", float(line[len(prefix):]), expected[pe]
+        )
+    return problems
+
+
+register(
+    Workload(
+        name="heat1d",
+        domain="PDE / stencil",
+        comm_pattern="nearest-neighbour halo (ring)",
+        description="1-D heat diffusion on a periodic ring, two predicated "
+        "one-sided puts per step (examples/heat_diffusion.py kernel)",
+        source_fn=_heat1d_source,
+        check_fn=_heat1d_check,
+        params=(
+            Param("cells", 16, 1, doc="interior cells per PE"),
+            Param("steps", 40, 1, doc="explicit-Euler timesteps"),
+        ),
+        smoke={"cells": 8, "steps": 10},
+    )
+)
+
+
+HEAT2D_LOL = """\
+HAI 1.2
+BTW 2-D heat on a row-block-decomposed slab: each PE owns {rows} interior
+BTW rows of {colsp2} floats (cols + 2 side halos, fixed cold), plus a top
+BTW and bottom halo row exchanged wif teh up/dn neighbours every step.
+WE HAS A grid ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {slab}
+I HAS A unew ITZ LOTZ A NUMBARS AN THAR IZ {slab}
+I HAS A up ITZ A NUMBR AN ITZ DIFF OF ME AN 1
+I HAS A dn ITZ A NUMBR AN ITZ SUM OF ME AN 1
+
+BTW hot cell: global (1, 1), owned by PE 0
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  grid'Z {hot} R 100.0
+OIC
+HUGZ
+
+IM IN YR step UPPIN YR t TIL BOTH SAEM t AN {steps}
+  BTW push my first interior row into up's bottom halo row
+  BIGGER ME AN 0, O RLY?
+  YA RLY,
+    TXT MAH BFF up AN STUFF,
+      IM IN YR hup UPPIN YR c TIL BOTH SAEM c AN {colsp2}
+        UR grid'Z SUM OF {bot_halo} AN c R grid'Z SUM OF {colsp2} AN c
+      IM OUTTA YR hup
+    TTYL
+  OIC
+  BTW push my last interior row into dn's top halo row
+  SMALLR ME AN DIFF OF MAH FRENZ AN 1, O RLY?
+  YA RLY,
+    TXT MAH BFF dn AN STUFF,
+      IM IN YR hdn UPPIN YR c TIL BOTH SAEM c AN {colsp2}
+        UR grid'Z c R grid'Z SUM OF {last_row} AN c
+      IM OUTTA YR hdn
+    TTYL
+  OIC
+  HUGZ
+
+  BTW 5-point stencil on the interior
+  IM IN YR rloop UPPIN YR i TIL BOTH SAEM i AN {rows}
+    I HAS A r ITZ SUM OF i AN 1
+    IM IN YR cloop UPPIN YR jj TIL BOTH SAEM jj AN {cols}
+      I HAS A c ITZ SUM OF jj AN 1
+      I HAS A at ITZ SUM OF PRODUKT OF r AN {colsp2} AN c
+      I HAS A nbr ITZ SUM OF grid'Z DIFF OF at AN {colsp2} ...
+        AN grid'Z SUM OF at AN {colsp2}
+      nbr R SUM OF nbr AN SUM OF grid'Z DIFF OF at AN 1 AN grid'Z SUM OF at AN 1
+      I HAS A lap ITZ DIFF OF nbr AN PRODUKT OF 4.0 AN grid'Z at
+      unew'Z at R SUM OF grid'Z at AN PRODUKT OF 0.2 AN lap
+    IM OUTTA YR cloop
+  IM OUTTA YR rloop
+
+  BTW maintained heat source
+  BOTH SAEM ME AN 0, O RLY?
+  YA RLY,
+    unew'Z {hot} R grid'Z {hot}
+  OIC
+
+  HUGZ
+  IM IN YR wr UPPIN YR i TIL BOTH SAEM i AN {rows}
+    I HAS A r ITZ SUM OF i AN 1
+    IM IN YR wc UPPIN YR jj TIL BOTH SAEM jj AN {cols}
+      I HAS A c ITZ SUM OF jj AN 1
+      I HAS A at ITZ SUM OF PRODUKT OF r AN {colsp2} AN c
+      grid'Z at R unew'Z at
+    IM OUTTA YR wc
+  IM OUTTA YR wr
+  HUGZ
+IM OUTTA YR step
+
+I HAS A total ITZ A NUMBAR AN ITZ 0.0
+IM IN YR sr UPPIN YR i TIL BOTH SAEM i AN {rows}
+  I HAS A r ITZ SUM OF i AN 1
+  IM IN YR sc UPPIN YR jj TIL BOTH SAEM jj AN {cols}
+    I HAS A c ITZ SUM OF jj AN 1
+    total R SUM OF total AN grid'Z SUM OF PRODUKT OF r AN {colsp2} AN c
+  IM OUTTA YR sc
+IM OUTTA YR sr
+VISIBLE "PE " ME " SLAB HEAT:: " total
+KTHXBYE
+"""
+
+
+def _heat2d_source(params: Mapping[str, int]) -> str:
+    rows, cols = params["rows"], params["cols"]
+    colsp2 = cols + 2
+    return HEAT2D_LOL.format(
+        rows=rows,
+        cols=cols,
+        colsp2=colsp2,
+        slab=(rows + 2) * colsp2,
+        last_row=rows * colsp2,
+        bot_halo=(rows + 1) * colsp2,
+        hot=colsp2 + 1,
+        steps=params["steps"],
+    )
+
+
+def heat2d_reference(
+    n_pes: int, rows: int, cols: int, steps: int
+) -> List[float]:
+    """Per-PE slab heat totals, FP-order-faithful to the kernel."""
+    height = rows * n_pes
+    g = [[0.0] * (cols + 2) for _ in range(height + 2)]
+    g[1][1] = 100.0
+    for _ in range(steps):
+        new = [row[:] for row in g]
+        for r in range(1, height + 1):
+            for c in range(1, cols + 1):
+                nbr = g[r - 1][c] + g[r + 1][c]
+                nbr = nbr + (g[r][c - 1] + g[r][c + 1])
+                lap = nbr - 4.0 * g[r][c]
+                new[r][c] = g[r][c] + 0.2 * lap
+        new[1][1] = g[1][1]
+        g = new
+    totals = []
+    for pe in range(n_pes):
+        total = 0.0
+        for i in range(rows):
+            r = pe * rows + i + 1
+            for c in range(1, cols + 1):
+                total = total + g[r][c]
+        totals.append(total)
+    return totals
+
+
+def _heat2d_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    expected = heat2d_reference(
+        n_pes, params["rows"], params["cols"], params["steps"]
+    )
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        prefix = f"PE {pe} SLAB HEAT: "
+        line = out.strip()
+        if not line.startswith(prefix):
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+            continue
+        problems += approx_problems(
+            f"PE {pe} slab heat", float(line[len(prefix):]), expected[pe]
+        )
+    return problems
+
+
+register(
+    Workload(
+        name="heat2d",
+        domain="PDE / stencil",
+        comm_pattern="row-block halo exchange (up/down)",
+        description="2-D heat diffusion, row-block decomposition, whole "
+        "boundary rows exchanged via block puts each step",
+        source_fn=_heat2d_source,
+        check_fn=_heat2d_check,
+        params=(
+            Param("rows", 4, 1, doc="interior rows per PE"),
+            Param("cols", 8, 1, doc="interior columns"),
+            Param("steps", 10, 1, doc="explicit-Euler timesteps"),
+        ),
+        smoke={"rows": 2, "cols": 4, "steps": 4},
+    )
+)

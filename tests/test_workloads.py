@@ -1,0 +1,170 @@
+"""Workload registry: lookup, parameter validation, and the smoke sweep
+asserting every registered workload runs on 1 and 4 PEs with
+bit-identical output across the closure and ast engines."""
+
+import pytest
+
+from repro import run_lolcode
+from repro.workloads import (
+    Param,
+    Workload,
+    WorkloadError,
+    all_workloads,
+    get_workload,
+    nbody_source,
+    register,
+    workload_names,
+)
+from repro.workloads.stencil import heat1d_reference, heat2d_reference
+
+pytestmark = pytest.mark.workload
+
+EXPECTED_NAMES = {
+    "ring",
+    "transpose",
+    "heat1d",
+    "heat2d",
+    "nbody",
+    "nbody_racy",
+    "tree_reduce",
+    "scan",
+    "histogram",
+    "pi_montecarlo",
+}
+
+
+# ---------------------------------------------------------------------------
+# Registry lookup
+# ---------------------------------------------------------------------------
+
+
+def test_registry_has_expected_workloads():
+    names = set(workload_names())
+    assert EXPECTED_NAMES <= names
+    assert len(names) >= 8
+
+
+def test_get_workload_roundtrip():
+    for w in all_workloads():
+        assert get_workload(w.name) is w
+
+
+def test_get_unknown_workload_lists_registry():
+    with pytest.raises(WorkloadError, match="unknown workload 'nope'") as exc:
+        get_workload("nope")
+    assert "heat2d" in str(exc.value)
+
+
+def test_duplicate_register_rejected():
+    w = get_workload("ring")
+    with pytest.raises(WorkloadError, match="duplicate"):
+        register(w)
+
+
+def test_every_workload_is_documented():
+    for w in all_workloads():
+        assert w.domain and w.comm_pattern and w.description
+
+
+# ---------------------------------------------------------------------------
+# Parameter binding and validation
+# ---------------------------------------------------------------------------
+
+
+def test_bind_params_defaults_and_overrides():
+    heat = get_workload("heat2d")
+    params = heat.bind_params({"steps": 3})
+    assert params["steps"] == 3
+    assert params["rows"] == heat.param("rows").default
+
+
+def test_bind_params_smoke_sizes():
+    heat = get_workload("heat1d")
+    assert heat.bind_params(smoke=True)["cells"] == heat.smoke["cells"]
+    # explicit overrides beat smoke sizes
+    assert heat.bind_params({"cells": 3}, smoke=True)["cells"] == 3
+
+
+def test_unknown_param_rejected():
+    with pytest.raises(WorkloadError, match="no parameter 'bogus'"):
+        get_workload("ring").bind_params({"bogus": 1})
+
+
+def test_param_bounds_enforced():
+    with pytest.raises(WorkloadError, match="must be >= 2"):
+        get_workload("nbody").bind_params({"particles": 1})
+    with pytest.raises(WorkloadError, match="must be an int"):
+        get_workload("ring").bind_params({"scale": "big"})
+    with pytest.raises(WorkloadError, match="must be an int"):
+        get_workload("ring").bind_params({"scale": True})
+
+
+def test_param_maximum():
+    p = Param("x", 1, 1, 4)
+    assert p.validate(4) == 4
+    with pytest.raises(WorkloadError, match="<= 4"):
+        p.validate(5)
+
+
+def test_source_is_parameterized():
+    ring = get_workload("ring")
+    assert "PRODUKT OF pe AN 7" in ring.source({"scale": 7})
+
+
+def test_packaged_nbody_listings_match_examples():
+    # The package ships its own copies (so an installed lolbench works
+    # without a repo checkout); they must never drift from the
+    # documentation copies under examples/lol.
+    import pathlib
+
+    import repro.workloads.nbody as nbody_mod
+
+    packaged = pathlib.Path(nbody_mod.__file__).parent / "lol"
+    examples = pathlib.Path(__file__).parent.parent / "examples" / "lol"
+    for name in ("nbody2d.lol", "nbody2d_fixed.lol"):
+        assert (packaged / name).read_text() == (examples / name).read_text()
+
+
+def test_nbody_source_scales_particles():
+    src = nbody_source(12, 3)
+    assert "THAR IZ 12" in src
+    assert "time AN 3" in src
+    racy = nbody_source(12, 3, racy=True)
+    assert racy != src  # the racy listing is missing the init barrier
+
+
+# ---------------------------------------------------------------------------
+# Reference simulations (checker internals)
+# ---------------------------------------------------------------------------
+
+
+def test_heat1d_reference_conserves_at_zero_steps():
+    # One hot cell, no evolution.
+    assert heat1d_reference(4, 8, 0)[0] == pytest.approx(100.0)
+    assert sum(heat1d_reference(4, 8, 0)) == pytest.approx(100.0)
+
+
+def test_heat2d_reference_source_dominates():
+    totals = heat2d_reference(2, 2, 4, 5)
+    assert totals[0] > totals[1] >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# The smoke sweep: every workload, 1 and 4 PEs, both engines,
+# bit-identical output (the tentpole acceptance criterion).
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+@pytest.mark.parametrize("n_pes", [1, 4])
+def test_workload_smoke_cross_engine(name, n_pes):
+    w = get_workload(name)
+    params = w.bind_params(smoke=True)
+    src = w.source(params)
+    outputs = {}
+    for engine in ("closure", "ast"):
+        result = run_lolcode(src, n_pes, seed=42, engine=engine)
+        assert w.check(result, n_pes, params) == [], (name, n_pes, engine)
+        outputs[engine] = result.output
+    if w.deterministic:
+        assert outputs["closure"] == outputs["ast"], (name, n_pes)
