@@ -17,7 +17,7 @@ import time
 import pytest
 
 from repro import run_lolcode
-from repro.compiler import compile_c, compile_python, load_pe_main, run_compiled
+from repro.compiler import compile_c, compile_python, load_pe_main
 from repro.shmem import run_spmd
 
 from .conftest import nbody_source, print_table
@@ -112,4 +112,4 @@ def test_full_lcc_cc_pipeline(tmp_path):
 
 @pytest.mark.benchmark(group="pipeline")
 def test_run_compiled_end_to_end(benchmark):
-    benchmark(lambda: run_compiled(SRC, 2, seed=42))
+    benchmark(lambda: run_lolcode(SRC, 2, seed=42, engine="compiled"))

@@ -16,7 +16,6 @@ the slow-marked test in tests/test_paper_examples.py.
 import pytest
 
 from repro import run_lolcode
-from repro.compiler import run_compiled
 from repro.noc import cray_xc40, epiphany_iii, estimate
 
 from .conftest import nbody_source, print_table
@@ -29,7 +28,7 @@ SRC = nbody_source(PARTICLES, STEPS)
 def test_nbody_interpreter_vs_compiled_identical():
     for n_pes in (1, 2, 4):
         ri = run_lolcode(SRC, n_pes, seed=42)
-        rc = run_compiled(SRC, n_pes, seed=42)
+        rc = run_lolcode(SRC, n_pes, seed=42, engine="compiled")
         assert ri.outputs == rc.outputs, f"divergence at {n_pes} PEs"
 
 
@@ -107,4 +106,4 @@ def test_nbody_compiled_wallclock(benchmark):
     """The compiled backend should beat the tree-walking interpreter —
     the paper's motivation for building a compiler rather than an
     interpreter ('more flexible and efficient than an interpreter')."""
-    benchmark(lambda: run_compiled(SRC, 2, seed=42))
+    benchmark(lambda: run_lolcode(SRC, 2, seed=42, engine="compiled"))

@@ -76,10 +76,10 @@ def test_math_kernel_interpreter(benchmark):
 def test_math_kernel_compiled(benchmark):
     """Same kernel through the compiled-Python backend (ablation of the
     paper's interpreter-vs-compiler claim at expression level)."""
-    from repro.compiler import run_compiled
+    from repro import run_lolcode
 
     def run():
-        return run_compiled(NBODY_KERNEL, 1).output
+        return run_lolcode(NBODY_KERNEL, 1, engine="compiled").output
 
     out = benchmark(run)
     assert out == run_serial(NBODY_KERNEL)

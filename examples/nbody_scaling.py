@@ -16,7 +16,6 @@ import argparse
 import time
 
 from repro import run_lolcode
-from repro.compiler import run_compiled
 from repro.noc import cray_xc40, epiphany_iii, estimate
 from repro.workloads import nbody_source as load_nbody
 
@@ -40,7 +39,7 @@ def main() -> None:
         ri = run_lolcode(src, n, seed=42, trace=True)
         ti = time.perf_counter() - t0
         t0 = time.perf_counter()
-        run_compiled(src, n, seed=42)
+        run_lolcode(src, n, seed=42, engine="compiled")
         tc = time.perf_counter() - t0
         traces[n] = ri.trace
         print(f"{n:>4} {ti:>10.3f} {tc:>12.3f} {ti / tc:>8.2f}x")

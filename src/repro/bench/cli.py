@@ -78,7 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engines", nargs="+", default=tuple(ENGINES),
-        choices=ENGINES, help="interpreter engines to sweep",
+        choices=ENGINES, help="execution engines to sweep",
     )
     parser.add_argument(
         "--executors", nargs="+", default=("thread",), choices=EXECUTORS,

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..compiler import CompileError
 from ..launcher import run_lolcode
 from ..noc import MachineModel, cray_xc40, epiphany_iii
 from ..noc.report import projection_rows
@@ -54,7 +55,7 @@ class SweepConfig:
     """What to run: the experiment matrix plus measurement knobs."""
 
     workloads: Sequence[str] = ()  # empty = every registered workload
-    engines: Sequence[str] = ("closure", "ast")
+    engines: Sequence[str] = ("closure", "ast", "compiled")
     executors: Sequence[str] = ("thread",)
     pe_counts: Sequence[int] = (1, 4)
     reps: int = 3
@@ -106,6 +107,14 @@ def _measure_cell(
         }
         try:
             traced = once(trace=True)
+        except CompileError as exc:
+            # A documented compile-time restriction of the compiled
+            # backend (SRS computed identifiers, nested/symmetric
+            # declarations in functions).  Record an explicit skip with
+            # the reason — never silently fall back to another engine.
+            row["skipped"] = f"compile-time restriction: {exc}"
+            rows.append(row)
+            continue
         except Exception as exc:  # noqa: BLE001 - recorded, not raised
             row["error"] = f"{type(exc).__name__}: {exc}"
             rows.append(row)
@@ -128,7 +137,7 @@ def _measure_cell(
     baseline_engine = next(iter(outputs), None)
     for row in rows:
         engine = row["engine"]
-        if "error" in row or engine not in outputs:
+        if "error" in row or "skipped" in row or engine not in outputs:
             continue
         if not workload.deterministic:
             row["differential"] = "skipped (nondeterministic workload)"
@@ -183,6 +192,10 @@ def collect_failures(results: Sequence[Mapping]) -> List[str]:
             f"{row['workload']}[{row['engine']}/{row['executor']}"
             f"/np{row['n_pes']}]"
         )
+        if "skipped" in row:
+            # An explicit, reasoned skip (compiled-engine restriction)
+            # is a recorded outcome, not a verification failure.
+            continue
         if "error" in row:
             failures.append(f"{tag}: error: {row['error']}")
             continue
@@ -206,6 +219,12 @@ def render_results(results: Sequence[Mapping]) -> str:
         f"{'epiphany':>11} {'xc40':>11}"
     ]
     for r in results:
+        if "skipped" in r:
+            lines.append(
+                f"{r['workload']:<{width}} {r['engine']:>8} "
+                f"{r['executor']:>7} {r['n_pes']:>4} SKIP: {r['skipped']}"
+            )
+            continue
         if "error" in r:
             lines.append(
                 f"{r['workload']:<{width}} {r['engine']:>8} "

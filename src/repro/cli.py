@@ -70,6 +70,8 @@ def lcc_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def loli_main(argv: Optional[Sequence[str]] = None) -> int:
+    from .interp import ENGINES
+
     parser = argparse.ArgumentParser(
         prog="loli", description="serial LOLCODE interpreter"
     )
@@ -80,10 +82,11 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=None, help="RNG seed")
     parser.add_argument(
         "--engine",
-        choices=("closure", "ast"),
+        choices=ENGINES,
         default="closure",
         help="execution engine (closure = compiled closures, default; "
-        "ast = reference tree-walker; --max-steps implies ast)",
+        "ast = reference tree-walker; compiled = lcc-style "
+        "LOLCODE-to-Python compilation; --max-steps implies ast)",
     )
     args = parser.parse_args(argv)
     try:
@@ -105,6 +108,8 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
+    from .interp import ENGINES
+
     parser = argparse.ArgumentParser(
         prog="lolrun",
         description="SPMD launcher for parallel LOLCODE "
@@ -128,15 +133,15 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--compiled",
         action="store_true",
-        help="run through the Python compiler backend instead of the "
-        "interpreter",
+        help="(deprecated) alias for --engine compiled",
     )
     parser.add_argument(
         "--engine",
-        choices=("closure", "ast"),
+        choices=ENGINES,
         default="closure",
-        help="interpreter engine (closure = compiled closures, default; "
-        "ast = reference tree-walker); ignored with --compiled",
+        help="execution engine (closure = compiled closures, default; "
+        "ast = reference tree-walker; compiled = lcc-style "
+        "LOLCODE-to-Python compilation)",
     )
     parser.add_argument(
         "--race-check",
@@ -150,32 +155,27 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
         help="print an op-trace summary (puts/gets/barriers/bytes)",
     )
     args = parser.parse_args(argv)
+    engine = args.engine
+    if args.compiled:
+        print(
+            "lolrun: --compiled is deprecated, use --engine compiled",
+            file=sys.stderr,
+        )
+        engine = "compiled"
     try:
         source = _read(args.source)
-        if args.compiled:
-            from .compiler import run_compiled
+        from .launcher import run_lolcode
 
-            result = run_compiled(
-                source,
-                args.n_pes,
-                executor=args.executor,
-                filename=args.source,
-                seed=args.seed,
-                trace=args.trace,
-            )
-        else:
-            from .launcher import run_lolcode
-
-            result = run_lolcode(
-                source,
-                args.n_pes,
-                executor=args.executor,
-                filename=args.source,
-                seed=args.seed,
-                trace=args.trace,
-                race_detection=args.race_check,
-                engine=args.engine,
-            )
+        result = run_lolcode(
+            source,
+            args.n_pes,
+            executor=args.executor,
+            filename=args.source,
+            seed=args.seed,
+            trace=args.trace,
+            race_detection=args.race_check,
+            engine=engine,
+        )
     except LolError as exc:
         return _fail(exc)
     sys.stdout.write(result.output)

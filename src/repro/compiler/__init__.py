@@ -2,13 +2,25 @@
 
 * :func:`compile_c` — LOLCODE -> C + OpenSHMEM (the paper's target);
 * :func:`compile_python` — LOLCODE -> Python targeting :mod:`repro.shmem`
-  (the runnable compiled path in this reproduction);
-* :func:`run_compiled` — compile-to-Python and launch SPMD;
+  (the runnable compiled path: ``run_lolcode(..., engine="compiled")``);
+* :func:`compile_python_cached` — the bounded LRU over parse + compile +
+  exec, shared by all thread PEs of a launch;
+* :func:`compiled_worker` — picklable per-PE entry point (process
+  workers compile in-worker through their own per-process cache);
+* :func:`run_compiled` — deprecated shim over
+  ``run_lolcode(engine="compiled")``;
 * :class:`CompileError` — diagnostics for interpret-only constructs.
 """
 
 from .c_backend import CBackend, compile_c
-from .py_backend import PyBackend, compile_python, load_pe_main, run_compiled
+from .py_backend import (
+    PyBackend,
+    compile_python,
+    compile_python_cached,
+    compiled_worker,
+    load_pe_main,
+    run_compiled,
+)
 from .symtab import CompileError, SymbolTable, analyze
 
 __all__ = [
@@ -16,6 +28,8 @@ __all__ = [
     "compile_c",
     "PyBackend",
     "compile_python",
+    "compile_python_cached",
+    "compiled_worker",
     "load_pe_main",
     "run_compiled",
     "CompileError",

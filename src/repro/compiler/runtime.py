@@ -19,10 +19,11 @@ from ..lang.types import (
     coerce_static,
     default_value,
     format_yarn,
+    to_array_size,
     to_numbr,
     to_troof,
 )
-from ..interp.values import binop, equals, naryop, unop
+from ..interp.values import FLOP_COST, binop, equals, naryop, unop
 from ..shmem.heap import ArrayCell
 
 TYPES = {t.value: t for t in LolType}
@@ -37,6 +38,20 @@ _numbr = to_numbr
 _yarn = format_yarn
 
 
+def _binop_f(op: str, lhs: object, rhs: object, ctx) -> object:
+    """FLOP-counting :func:`_binop` — emitted only by traced compiles,
+    so the untraced generated code carries no accounting calls (the same
+    compile-time split the closure engine makes)."""
+    ctx.add_flops(FLOP_COST.get(op, 0))
+    return binop(op, lhs, rhs)
+
+
+def _unop_f(op: str, value: object, ctx) -> object:
+    """FLOP-counting :func:`_unop` (traced compiles only)."""
+    ctx.add_flops(FLOP_COST.get(op, 0))
+    return unop(op, value)
+
+
 def _cast(value: object, type_name: str) -> object:
     return _cast_impl(value, TYPES[type_name])
 
@@ -49,8 +64,11 @@ def _default(type_name: str) -> object:
     return default_value(TYPES[type_name])
 
 
+_asize = to_array_size
+
+
 def _mkarray(type_name: str, size: object) -> ArrayCell:
-    n = to_numbr(size)
+    n = to_array_size(size)
     if n <= 0:
         raise LolRuntimeError(f"array must have positive size, got {n}")
     return ArrayCell(TYPES[type_name], n)

@@ -11,6 +11,11 @@ other (and against the compiled-Python backend):
   (:mod:`repro.interp.interpreter`), also the only engine supporting
   ``max_steps`` execution limits.
 
+(The third registered engine, ``"compiled"``, is not an interpreter at
+all: it is the LOLCODE -> Python source-to-source backend in
+:mod:`repro.compiler.py_backend`, sharing the same operator kernels and
+the same differential test matrix.)
+
 :func:`compile_closures_cached` is the process-wide LRU compiled-program
 cache, keyed by source text: an SPMD launch compiles once and every PE
 shares the same :class:`~repro.interp.closures.CompiledProgram` (the
@@ -34,8 +39,12 @@ from .values import (
     unop,
 )
 
-#: Execution engines accepted by ``run_lolcode`` / the CLIs.
-ENGINES = ("closure", "ast")
+#: Execution engines accepted by ``run_lolcode`` / the CLIs.  The first
+#: two live in this package; ``"compiled"`` is the source-to-source
+#: Python backend (:mod:`repro.compiler.py_backend`) — the paper's
+#: ``lcc`` deployment path — dispatched per PE by the launcher through
+#: :func:`repro.compiler.compile_python_cached`.
+ENGINES = ("closure", "ast", "compiled")
 
 
 @lru_cache(maxsize=64)

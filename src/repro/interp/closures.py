@@ -81,6 +81,7 @@ from ..lang.types import (
     default_value,
     format_yarn,
     parse_type,
+    to_array_size,
     to_numbr,
     to_troof,
 )
@@ -399,7 +400,7 @@ class ClosureCompiler:
             slot = scope.declare(name, static_type=declared, is_array=True).slot
 
             def run_array(rt: _Runtime, frame: list) -> None:
-                size = to_numbr(size_c(rt, frame), pos)
+                size = to_array_size(size_c(rt, frame), pos)
                 if size <= 0:
                     raise LolRuntimeError(
                         f"array '{name}' must have positive size, got {size}",
@@ -466,7 +467,7 @@ class ClosureCompiler:
         def run(rt: _Runtime, frame: list) -> None:
             gframe = rt.gframe
             if is_array:
-                size = to_numbr(size_c(rt, gframe), pos)
+                size = to_array_size(size_c(rt, gframe), pos)
                 rt.ctx.alloc_array(name, declared, size, has_lock=has_lock)
             else:
                 rt.ctx.alloc_scalar(name, declared, has_lock=has_lock)

@@ -41,6 +41,7 @@ from ..lang.types import (
     default_value,
     format_yarn,
     parse_type,
+    to_array_size,
     to_numbr,
     to_troof,
     type_of,
@@ -134,7 +135,7 @@ class Interpreter:
             self._exec_symmetric_decl(stmt, declared_type)
             return
         if stmt.is_array:
-            size = to_numbr(self.eval(stmt.size, env), stmt.pos)
+            size = to_array_size(self.eval(stmt.size, env), stmt.pos)
             if size <= 0:
                 raise LolRuntimeError(
                     f"array '{stmt.name}' must have positive size, got {size}",
@@ -167,7 +168,7 @@ class Interpreter:
                 stmt.pos,
             )
         if stmt.is_array:
-            size = to_numbr(self.eval(stmt.size, self.globals), stmt.pos)
+            size = to_array_size(self.eval(stmt.size, self.globals), stmt.pos)
             self.ctx.alloc_array(
                 stmt.name, declared_type, size, has_lock=stmt.shared_lock
             )

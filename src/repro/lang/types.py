@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import enum
 
-from .errors import LolTypeError, SourcePos
+from .errors import LolRuntimeError, LolTypeError, SourcePos
 
 
 class LolType(enum.Enum):
@@ -145,6 +145,19 @@ def to_numbr(value: object, pos: SourcePos | None = None) -> int:
                 f"cannot cast YARN {value!r} to NUMBR", pos
             ) from exc
     return 0  # NOOB explicitly cast
+
+
+def to_array_size(value: object, pos: SourcePos | None = None) -> int:
+    """Array extents, unlike general NUMBR casts, must be *integral*:
+    truncating ``2.9`` to 2 elements silently shrinks the allocation
+    (and, for symmetric data, would let executors disagree on the heap
+    layout).  Shared by all three engines and the process-executor
+    planner so every path rejects identically."""
+    if isinstance(value, float) and not value.is_integer():
+        raise LolRuntimeError(
+            f"array size must be an integer, got {value!r}", pos
+        )
+    return to_numbr(value, pos)
 
 
 def to_numbar(value: object, pos: SourcePos | None = None) -> float:

@@ -1,8 +1,9 @@
 """SPMD program launcher (the paper's ``coprsh``/``aprun`` analogue).
 
 Re-exports the launcher-facing configuration spaces — ``EXECUTORS``
-(thread/process/serial) and ``ENGINES`` (closure/ast) — so callers that
-build sweeps over them (``repro.bench``, the CLIs) have one import site.
+(thread/process/serial) and ``ENGINES`` (closure/ast/compiled) — so
+callers that build sweeps over them (``repro.bench``, the CLIs) have one
+import site.
 """
 
 from ..interp import ENGINES

@@ -30,6 +30,7 @@ from ..lang.types import parse_type, to_numbr
 from ..interp import ENGINES, compile_closures_cached
 from ..interp.interpreter import Interpreter
 from ..interp.values import binop, unop
+from ..compiler.py_backend import compile_python_cached, compiled_worker
 from ..shmem.api import DEFAULT_BARRIER_TIMEOUT, ShmemContext
 from ..shmem.heap import SymmetricPlan
 from ..shmem.runtime_procs import run_spmd_procs
@@ -38,20 +39,20 @@ from ..shmem.runtime_threads import SpmdResult, run_spmd
 EXECUTORS = ("thread", "process", "serial")
 
 
-def const_eval(expr: ast.Expr, n_pes: int) -> int:
-    """Constant-fold an array-size expression for the symmetric plan."""
+def _const_fold(expr: ast.Expr, n_pes: int) -> object:
+    """Fold a size expression to its raw value (int, float, or TROOF)."""
     if isinstance(expr, ast.IntLit):
         return expr.value
     if isinstance(expr, ast.FloatLit):
-        return int(expr.value)
+        return expr.value
     if isinstance(expr, ast.FrenzExpr):
         return n_pes
     if isinstance(expr, ast.BinOp):
-        lhs = const_eval(expr.lhs, n_pes)
-        rhs = const_eval(expr.rhs, n_pes)
-        return to_numbr(binop(expr.op, lhs, rhs, expr.pos), expr.pos)
+        lhs = _const_fold(expr.lhs, n_pes)
+        rhs = _const_fold(expr.rhs, n_pes)
+        return binop(expr.op, lhs, rhs, expr.pos)
     if isinstance(expr, ast.UnaryOp):
-        return to_numbr(unop(expr.op, const_eval(expr.operand, n_pes)), expr.pos)
+        return unop(expr.op, _const_fold(expr.operand, n_pes), expr.pos)
     if isinstance(expr, ast.MeExpr):
         raise LolParallelError(
             "symmetric array sizes cannot depend on ME (all PEs must "
@@ -63,6 +64,24 @@ def const_eval(expr: ast.Expr, n_pes: int) -> int:
         "process executor",
         expr.pos,
     )
+
+
+def const_eval(expr: ast.Expr, n_pes: int) -> int:
+    """Constant-fold an array-size expression for the symmetric plan.
+
+    Sizes must fold to an *integral* value: a NUMBAR (or a NUMBAR-typed
+    fold result) like ``2.9`` is rejected instead of being silently
+    truncated to 2 elements — an allocation-size mismatch between
+    executors would corrupt the symmetric heap, not just the one array.
+    """
+    value = _const_fold(expr, n_pes)
+    if isinstance(value, float) and not value.is_integer():
+        raise LolParallelError(
+            f"symmetric array size must be an integer, but the size "
+            f"expression folds to {value!r}",
+            expr.pos,
+        )
+    return to_numbr(value, expr.pos)
 
 
 def plan_from_program(program: ast.Program, n_pes: int) -> SymmetricPlan:
@@ -87,18 +106,25 @@ def _pe_main(
     """Module-level worker so the process executor can pickle it.
 
     Engine dispatch happens here (rather than in ``run_lolcode``) because
-    compiled closures are not picklable: thread PEs share one compiled
-    program through the :func:`~repro.interp.compile_closures_cached` LRU,
-    while each worker process hits its own per-process cache.  A
-    ``max_steps`` limit forces the tree-walker — the closure engine does
-    not instrument statement counting on its hot path.
+    neither compiled closures nor exec'd ``pe_main`` modules are
+    picklable: thread PEs share one compiled program through the
+    :func:`~repro.interp.compile_closures_cached` /
+    :func:`~repro.compiler.compile_python_cached` LRUs, while each worker
+    process hits its own per-process cache.  A ``max_steps`` limit forces
+    the tree-walker for the closure engine (neither compiled engine
+    instruments statement counting on its hot path; the launcher rejects
+    ``max_steps`` for ``engine="compiled"`` before dispatch).
     """
-    if engine == "closure" and max_steps is None:
-        compiled = compile_closures_cached(
-            source, filename, ctx.trace is not None
-        )
-        compiled.run(ctx)
-        return
+    if max_steps is None:
+        if engine == "closure":
+            compiled = compile_closures_cached(
+                source, filename, ctx.trace is not None
+            )
+            compiled.run(ctx)
+            return
+        if engine == "compiled":
+            compiled_worker(source, filename, ctx)
+            return
     program = parse_cached(source, filename)
     Interpreter(program, ctx, max_steps=max_steps).run()
 
@@ -122,8 +148,13 @@ def run_lolcode(
 
     ``engine`` selects the execution engine per PE: ``"closure"``
     (default — compile once per program into zero-dispatch closures,
-    shared by all PEs) or ``"ast"`` (the reference tree-walker; also used
-    automatically whenever ``max_steps`` is requested).
+    shared by all PEs), ``"ast"`` (the reference tree-walker; also used
+    automatically whenever ``max_steps`` is requested), or ``"compiled"``
+    (the paper's ``lcc`` deployment path — LOLCODE is compiled to a
+    Python ``pe_main`` module and launched; rejects interpret-only
+    constructs such as ``SRS`` computed identifiers with a
+    :class:`~repro.compiler.CompileError`, and refuses ``max_steps``
+    outright rather than silently reinterpreting).
     """
     if executor not in EXECUTORS:
         raise LolParallelError(
@@ -135,6 +166,20 @@ def run_lolcode(
         )
     # Surface syntax errors in the caller (cached: benches re-run sources).
     program = parse_cached(source, filename)
+    if engine == "compiled":
+        if max_steps is not None:
+            # The closure engine's documented max_steps fallback to the
+            # tree-walker would be a *silent engine swap* here: callers
+            # probing compiled-engine compatibility would see interpret-
+            # only programs "succeed".  Refuse instead.
+            raise LolParallelError(
+                "engine='compiled' does not support max_steps; use "
+                "engine='ast' (the step-counting tree-walker)"
+            )
+        # Surface compile-time restrictions (SRS, nested declarations, …)
+        # in the caller too, instead of from inside a worker thread; this
+        # also warms the exact LRU key the thread PEs will share.
+        compile_python_cached(source, filename, trace)
     worker = partial(_pe_main, source, filename, max_steps, engine)
 
     if executor == "process":

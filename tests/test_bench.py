@@ -36,8 +36,10 @@ def test_run_sweep_schema(tiny_payload):
     assert tiny_payload["schema"] == 1
     assert tiny_payload["failures"] == []
     rows = tiny_payload["results"]
-    # 2 workloads x 2 engines x 2 PE counts on the thread executor
-    assert len(rows) == 8
+    # 2 workloads x 3 engines (closure/ast/compiled) x 2 PE counts on
+    # the thread executor
+    assert len(rows) == 12
+    assert {r["engine"] for r in rows} == {"closure", "ast", "compiled"}
     for row in rows:
         assert row["checker"] == "pass"
         assert row["differential"] == "pass"
@@ -132,6 +134,52 @@ def test_collect_failures_flags_bad_rows():
     assert any("error" in f for f in failures)
 
 
+def test_compile_restricted_workload_skipped_with_reason():
+    # A workload the compiled backend cannot translate (SRS computed
+    # identifiers) must yield an explicit per-row skip reason for the
+    # compiled engine — never an error row, a silent drop, or a silent
+    # fallback to an interpreter — while the interpreter rows still run.
+    from repro.workloads import WORKLOADS, Workload, register
+
+    register(
+        Workload(
+            name="_test_srs",
+            domain="test",
+            comm_pattern="none",
+            description="interpret-only kernel",
+            source_fn=lambda params: (
+                'HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS "x"\nKTHXBYE\n'
+            ),
+            check_fn=lambda *a: [],
+        )
+    )
+    try:
+        payload = run_sweep(
+            SweepConfig(
+                workloads=("_test_srs",), pe_counts=(1,), reps=1, smoke=True
+            )
+        )
+    finally:
+        WORKLOADS.pop("_test_srs")
+    rows = {r["engine"]: r for r in payload["results"]}
+    assert rows["closure"]["checker"] == "pass"
+    assert rows["ast"]["checker"] == "pass"
+    assert "seconds" not in rows["compiled"]
+    assert "compile-time restriction" in rows["compiled"]["skipped"]
+    assert "SRS" in rows["compiled"]["skipped"]
+    # an explicit skip is a recorded outcome, not a verification failure
+    assert payload["failures"] == []
+    assert "SKIP" in render_results(payload["results"])
+
+
+def test_collect_failures_ignores_explicit_skips():
+    rows = [
+        {"workload": "w", "engine": "compiled", "executor": "x", "n_pes": 1,
+         "skipped": "compile-time restriction: SRS"},
+    ]
+    assert collect_failures(rows) == []
+
+
 # ---------------------------------------------------------------------------
 # Baseline comparison
 # ---------------------------------------------------------------------------
@@ -193,6 +241,26 @@ def test_baseline_different_params_never_compared():
 def test_comparison_zero_baseline():
     assert Comparison(("a", "e", "x", 1), 0.0, 0.1).ratio == float("inf")
     assert Comparison(("a", "e", "x", 1), 0.0, 0.0).ratio == 1.0
+
+
+def test_baseline_keys_by_engine_so_compiled_regresses_independently():
+    # A slowdown in the compiled rows must be attributed to the compiled
+    # engine only — interpreter cells with the same workload/PE count
+    # stay green, and skipped compiled rows (no "seconds") are ignored.
+    base = _payload({("a", "closure", 4): 0.010, ("a", "compiled", 4): 0.010})
+    cur = _payload({("a", "closure", 4): 0.010, ("a", "compiled", 4): 0.050})
+    comps = compare_to_baseline(cur, base)
+    bad = regressions(comps, 0.20)
+    assert [c.key[1] for c in bad] == ["compiled"]
+    cur["results"].append(
+        {"workload": "b", "engine": "compiled", "executor": "thread",
+         "n_pes": 4, "skipped": "compile-time restriction: SRS"}
+    )
+    base["results"].append(
+        {"workload": "b", "engine": "compiled", "executor": "thread",
+         "n_pes": 4, "seconds": 0.010}
+    )
+    assert len(compare_to_baseline(cur, base)) == len(comps)
 
 
 # ---------------------------------------------------------------------------

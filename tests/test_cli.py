@@ -46,6 +46,10 @@ class TestLoli:
         assert loli_main([str(hello_lol)]) == 0
         assert capsys.readouterr().out == "HAI ITZ 0 OF 1\n"
 
+    def test_engine_compiled_serial(self, hello_lol, capsys):
+        assert loli_main([str(hello_lol), "--engine", "compiled"]) == 0
+        assert capsys.readouterr().out == "HAI ITZ 0 OF 1\n"
+
     def test_max_steps_guard(self, tmp_path, capsys):
         p = tmp_path / "spin.lol"
         p.write_text(
@@ -61,9 +65,25 @@ class TestLolrun:
         out = capsys.readouterr().out
         assert out == "HAI ITZ 0 OF 3\nHAI ITZ 1 OF 3\nHAI ITZ 2 OF 3\n"
 
-    def test_compiled_flag(self, hello_lol, capsys):
+    def test_compiled_flag_deprecated_alias(self, hello_lol, capsys):
         assert lolrun_main(["-np", "2", "--compiled", str(hello_lol)]) == 0
-        assert "HAI ITZ 1 OF 2" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "HAI ITZ 1 OF 2" in captured.out
+        assert "deprecated" in captured.err
+
+    def test_engine_compiled(self, hello_lol, capsys):
+        assert lolrun_main(
+            ["-np", "2", "--engine", "compiled", str(hello_lol)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "HAI ITZ 1 OF 2" in captured.out
+        assert captured.err == ""
+
+    def test_engine_compiled_reports_restrictions(self, tmp_path, capsys):
+        p = tmp_path / "srs.lol"
+        p.write_text('HAI 1.2\nI HAS A x ITZ 1\nVISIBLE SRS "x"\nKTHXBYE\n')
+        assert lolrun_main(["-np", "1", "--engine", "compiled", str(p)]) == 1
+        assert "SRS" in capsys.readouterr().err
 
     def test_trace_flag(self, hello_lol, capsys):
         assert lolrun_main(["-np", "2", "--trace", str(hello_lol)]) == 0

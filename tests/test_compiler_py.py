@@ -5,7 +5,13 @@ bit-identical)."""
 import pytest
 
 from repro import run_lolcode
-from repro.compiler import CompileError, compile_python, load_pe_main, run_compiled
+from repro.compiler import (
+    CompileError,
+    compile_python,
+    compile_python_cached,
+    load_pe_main,
+    run_compiled,
+)
 from repro.shmem import run_spmd
 
 from .conftest import lol
@@ -15,7 +21,7 @@ def diff_check(body: str, n_pes: int = 1, seed: int = 5, **kwargs):
     """Run through interpreter and compiled backend; outputs must match."""
     src = lol(body)
     ri = run_lolcode(src, n_pes, seed=seed, **kwargs)
-    rc = run_compiled(src, n_pes, seed=seed, **kwargs)
+    rc = run_lolcode(src, n_pes, seed=seed, engine="compiled", **kwargs)
     assert ri.outputs == rc.outputs, (
         f"interpreter vs compiled divergence:\n{ri.outputs!r}\n{rc.outputs!r}"
     )
@@ -170,7 +176,7 @@ class TestDifferentialParallel:
     def test_nbody_fixed_matches(self, example_path):
         src = example_path("nbody2d_fixed.lol").read_text()
         ri = run_lolcode(src, 2, seed=3)
-        rc = run_compiled(src, 2, seed=3)
+        rc = run_lolcode(src, 2, seed=3, engine="compiled")
         assert ri.outputs == rc.outputs
 
 
@@ -185,5 +191,133 @@ class TestCompiledOnProcesses:
             "TXT MAH BFF k, got R UR a\n"
             "VISIBLE got"
         )
-        r = run_compiled(lol(body), 3, executor="process", barrier_timeout=60)
+        r = run_lolcode(
+            lol(body), 3, executor="process", engine="compiled",
+            barrier_timeout=60,
+        )
         assert r.outputs == ["3\n", "6\n", "0\n"]
+
+
+class TestEnginePromotion:
+    """The compiled backend as a first-class engine: deprecated shim,
+    traceback filenames, and the bounded compile cache."""
+
+    def test_run_compiled_shim_warns_and_delegates(self):
+        src = lol("VISIBLE SUM OF ME AN 10")
+        with pytest.warns(DeprecationWarning, match="engine='compiled'"):
+            r = run_compiled(src, 2, seed=1)
+        assert r.outputs == ["10\n", "11\n"]
+
+    def test_compiled_rejects_max_steps_free_srs_via_launcher(self):
+        # First-class engine selection must reject interpret-only
+        # constructs in the *caller*, not from inside a worker thread.
+        with pytest.raises(CompileError, match="SRS"):
+            run_lolcode(
+                lol('I HAS A x ITZ 1\nVISIBLE SRS "x"'), 1, engine="compiled"
+            )
+
+    def test_load_pe_main_threads_filename(self):
+        py = compile_python(lol("VISIBLE 1"), filename="kernels/demo.lol")
+        fn = load_pe_main(py, "kernels/demo.lol")
+        assert fn.__code__.co_filename.startswith(
+            "<compiled kernels/demo.lol#"
+        )
+        assert "lolcode-compiled" in load_pe_main(py).__code__.co_filename
+
+    def test_linecache_entries_unique_per_program(self):
+        # Two different programs compiled under the same filename (the
+        # "<string>" default) must not clobber each other's registered
+        # generated source — the content hash keeps the names distinct.
+        import linecache
+
+        py_a = compile_python(lol("VISIBLE 1"))
+        py_b = compile_python(lol('VISIBLE "totally different"'))
+        fn_a = load_pe_main(py_a)
+        fn_b = load_pe_main(py_b)
+        name_a = fn_a.__code__.co_filename
+        name_b = fn_b.__code__.co_filename
+        assert name_a != name_b
+        assert linecache.cache[name_a][2] == py_a.splitlines(True)
+        assert linecache.cache[name_b][2] == py_b.splitlines(True)
+
+    def test_linecache_registry_is_bounded(self):
+        from repro.compiler.py_backend import (
+            _LINECACHE_LIMIT,
+            _LINECACHE_NAMES,
+        )
+
+        for i in range(_LINECACHE_LIMIT + 10):
+            load_pe_main(compile_python(lol(f"VISIBLE {i + 100000}")))
+        assert len(_LINECACHE_NAMES) <= _LINECACHE_LIMIT
+        import linecache
+
+        registered = [n for n in linecache.cache if n.startswith("<compiled ")]
+        assert len(registered) <= _LINECACHE_LIMIT
+
+    def test_runtime_tracebacks_quote_generated_source(self):
+        # Frames from inside the generated module must carry the real
+        # .lol path *and* quote the generated Python line (registered
+        # with linecache), not an unrelated line of LOLCODE text.
+        import traceback
+
+        from repro.lang.errors import LolError
+
+        try:
+            run_lolcode(
+                lol("VISIBLE QUOSHUNT OF 1 AN 0"),
+                1,
+                engine="compiled",
+                filename="kernels/div0.lol",
+            )
+        except LolError as exc:
+            # the launcher wraps the PE error; the worker frames hang
+            # off __cause__
+            cause = exc.__cause__ or exc
+            frames = [
+                f
+                for f in traceback.extract_tb(cause.__traceback__)
+                if "kernels/div0.lol" in f.filename
+            ]
+            assert frames, "no traceback frame names the .lol source"
+            assert frames[0].filename.startswith("<compiled kernels/div0.lol#")
+            assert "_binop" in (frames[0].line or "")
+        else:  # pragma: no cover
+            pytest.fail("expected LolError")
+
+    def test_compiled_cache_keyed_by_filename(self):
+        compile_python_cached.cache_clear()
+        src = lol("VISIBLE 2")
+        a = compile_python_cached(src, "a.lol")
+        b = compile_python_cached(src, "b.lol")
+        assert a is not b
+        assert a.__code__.co_filename.startswith("<compiled a.lol#")
+        assert b.__code__.co_filename.startswith("<compiled b.lol#")
+        assert compile_python_cached(src, "a.lol") is a
+
+    def test_compiled_cache_is_bounded(self):
+        compile_python_cached.cache_clear()
+        maxsize = compile_python_cached.cache_info().maxsize
+        assert maxsize is not None, "compile cache must be bounded"
+        for i in range(maxsize + 8):
+            compile_python_cached(lol(f"VISIBLE {i}"), f"gen{i}.lol")
+        assert compile_python_cached.cache_info().currsize <= maxsize
+
+    def test_compiled_cache_shared_across_thread_pes(self):
+        compile_python_cached.cache_clear()
+        src = lol("VISIBLE SUM OF ME AN 1")
+        run_lolcode(src, 4, seed=1, engine="compiled")
+        info = compile_python_cached.cache_info()
+        assert info.misses == 1  # compiled once (launcher pre-warm)...
+        assert info.hits >= 4  # ...shared by every PE
+        run_lolcode(src, 4, seed=1, engine="compiled")
+        assert compile_python_cached.cache_info().misses == 1
+
+    def test_traced_and_untraced_compiles_are_distinct(self):
+        # FLOP accounting is baked in at compile time, so the tracing
+        # flag is part of the cache identity — and traced flop totals
+        # match the interpreters exactly (see test_engine_differential).
+        compile_python_cached.cache_clear()
+        src = lol("VISIBLE SQUAR OF 3")
+        run_lolcode(src, 1, engine="compiled")
+        run_lolcode(src, 1, engine="compiled", trace=True)
+        assert compile_python_cached.cache_info().misses == 2

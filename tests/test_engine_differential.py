@@ -6,6 +6,9 @@ compiled-Python backend) — same VISIBLE output per PE, same FLOP/op
 accounting, same RNG draw sequence.  This suite checks that property on
 
 * every bundled paper example at 1/2/4 PEs,
+* every workload in the registry, three-way at 1 and 4 PEs on the
+  thread and process executors (compile-time-restricted workloads must
+  be *explicitly* skipped, never silently dropped),
 * randomized arithmetic/loop/predication programs (seeded, so failures
   reproduce),
 * the ``HUGZ`` barrier and ``IM SRSLY MESIN WIF`` lock paths at 4 PEs.
@@ -16,11 +19,15 @@ import random
 import pytest
 
 from repro import run_lolcode
-from repro.compiler import run_compiled
+from repro.compiler import CompileError
+from repro.launcher import ENGINES
+from repro.workloads import all_workloads
 
 from .conftest import EXAMPLES_LOL, lol
 
 EXAMPLES = ["ring.lol", "locks.lol", "barrier.lol", "nbody2d_fixed.lol"]
+
+WORKLOAD_NAMES = [w.name for w in all_workloads()]
 
 
 def both_engines(src: str, n_pes: int, **kwargs):
@@ -35,7 +42,7 @@ def assert_engines_agree(src: str, n_pes: int, *, compiled: bool = False, **kwar
         f"closure engine diverged from tree-walker at {n_pes} PEs"
     )
     if compiled:
-        p = run_compiled(src, n_pes, **kwargs)
+        p = run_lolcode(src, n_pes, engine="compiled", **kwargs)
         assert a.outputs == p.outputs, (
             f"compiled backend diverged from interpreters at {n_pes} PEs"
         )
@@ -59,9 +66,94 @@ class TestPaperExamples:
     def test_trace_accounting_identical(self, name):
         src = (EXAMPLES_LOL / name).read_text()
         a, c = both_engines(src, 2, seed=42, trace=True)
+        p = run_lolcode(src, 2, engine="compiled", seed=42, trace=True)
         assert a.trace.total_flops() == c.trace.total_flops()
+        assert a.trace.total_flops() == p.trace.total_flops()
         assert a.trace.total_remote_bytes() == c.trace.total_remote_bytes()
+        assert a.trace.total_remote_bytes() == p.trace.total_remote_bytes()
         assert a.trace.summary() == c.trace.summary()
+        assert a.trace.summary() == p.trace.summary()
+
+
+# ---------------------------------------------------------------------------
+# Full workload registry, three-way, thread and process executors.
+# ---------------------------------------------------------------------------
+
+
+def _three_way_outputs(src: str, n_pes: int, executor: str, seed: int):
+    """Run all three engines; returns ({engine: outputs}, restriction).
+
+    A compiled-engine ``CompileError`` is a *documented* restriction
+    (SRS computed identifiers, nested/symmetric declarations in
+    functions); it is returned as ``restriction`` so the caller can
+    still assert closure-vs-ast agreement before skipping the compiled
+    comparison — any other engine raising is a real failure.
+    """
+    outputs = {}
+    restriction = None
+    kwargs = {"executor": executor, "seed": seed}
+    if executor == "process":
+        kwargs["barrier_timeout"] = 120
+    for engine in ENGINES:
+        try:
+            outputs[engine] = run_lolcode(src, n_pes, engine=engine, **kwargs).outputs
+        except CompileError as exc:
+            assert engine == "compiled", (
+                f"interpreter engine {engine!r} raised CompileError: {exc}"
+            )
+            restriction = f"compiled-engine restriction: {exc}"
+    return outputs, restriction
+
+
+@pytest.mark.workload
+class TestWorkloadRegistryThreeWay:
+    """Every registered workload runs bit-identically on closure, ast,
+    and compiled (or is skipped with an explicit compile-restriction
+    reason) — the same guarantee ``lolbench`` enforces per sweep cell."""
+
+    @pytest.mark.parametrize("n_pes", [1, 4])
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_thread_executor(self, workload, n_pes):
+        from repro.workloads import get_workload
+
+        w = get_workload(workload)
+        if n_pes < w.min_pes:
+            pytest.skip(f"{workload} needs >= {w.min_pes} PEs")
+        src = w.source(smoke=True)
+        outputs, restriction = _three_way_outputs(src, n_pes, "thread", seed=42)
+        if not w.deterministic and n_pes > 1:
+            return  # engines ran; outputs legitimately vary (racy kernel)
+        assert outputs["ast"] == outputs["closure"], (
+            f"{workload}: closure diverged from tree-walker at {n_pes} PEs"
+        )
+        if restriction:
+            pytest.skip(restriction)
+        assert outputs["ast"] == outputs["compiled"], (
+            f"{workload}: compiled diverged from tree-walker at {n_pes} PEs"
+        )
+
+    @pytest.mark.procs
+    @pytest.mark.slow
+    @pytest.mark.parametrize("n_pes", [1, 4])
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_process_executor(self, workload, n_pes):
+        from repro.workloads import get_workload
+
+        w = get_workload(workload)
+        if n_pes < w.min_pes:
+            pytest.skip(f"{workload} needs >= {w.min_pes} PEs")
+        src = w.source(smoke=True)
+        outputs, restriction = _three_way_outputs(src, n_pes, "process", seed=42)
+        if not w.deterministic and n_pes > 1:
+            return
+        assert outputs["ast"] == outputs["closure"], (
+            f"{workload}: closure diverged from tree-walker at {n_pes} PEs"
+        )
+        if restriction:
+            pytest.skip(restriction)
+        assert outputs["ast"] == outputs["compiled"], (
+            f"{workload}: compiled diverged from tree-walker at {n_pes} PEs"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -337,6 +429,16 @@ def test_error_parity_undeclared_variable():
     for engine in ("ast", "closure"):
         with pytest.raises(LolError, match="never_declared"):
             run_lolcode(src, 1, engine=engine)
+
+
+def test_compiled_engine_refuses_max_steps():
+    # The closure engine's max_steps fallback to the tree-walker is
+    # documented; for engine="compiled" it would be a silent engine
+    # swap (interpret-only programs would "succeed"), so it must raise.
+    from repro.lang.errors import LolParallelError
+
+    with pytest.raises(LolParallelError, match="max_steps"):
+        run_lolcode(lol("VISIBLE 1"), 1, engine="compiled", max_steps=100)
 
 
 def test_engine_validation_and_max_steps_fallback():

@@ -48,6 +48,60 @@ class TestRunLolcode:
                 max_steps=100,
             )
 
+    def test_non_integral_literal_array_size_rejected(self):
+        # 2.9 must not silently allocate 2 elements (the old int() path):
+        # the process planner rejects at plan time, and the runtime
+        # allocation paths of every engine reject identically on the
+        # thread executor (no run-vs-error divergence across executors).
+        from repro.lang.errors import LolError
+
+        src = lol("WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 2.9")
+        with pytest.raises(LolParallelError, match="integer"):
+            run_lolcode(src, 2, executor="process")
+        for engine in ("closure", "ast", "compiled"):
+            with pytest.raises(LolError, match="integer"):
+                run_lolcode(src, 2, executor="thread", engine=engine)
+
+    def test_non_integral_folded_array_size_rejected(self):
+        # A BinOp fold landing on a non-integer (5.0 / 2 = 2.5) is just
+        # as wrong as a literal 2.9.
+        from repro.lang.errors import LolError
+
+        src = lol(
+            "WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ "
+            "QUOSHUNT OF 5.0 AN 2"
+        )
+        with pytest.raises(LolParallelError, match="integer"):
+            run_lolcode(src, 2, executor="process")
+        with pytest.raises(LolError, match="integer"):
+            run_lolcode(src, 2, executor="thread")
+
+    def test_non_integral_local_array_size_rejected_all_engines(self):
+        # I HAS A (non-symmetric) arrays go through the same shared
+        # to_array_size guard in all three engines.
+        from repro.lang.errors import LolError
+
+        src = lol("I HAS A a ITZ LOTZ A NUMBRS AN THAR IZ 2.9")
+        for engine in ("closure", "ast", "compiled"):
+            with pytest.raises(LolError, match="integer"):
+                run_lolcode(src, 1, engine=engine)
+
+    @pytest.mark.procs
+    def test_integral_float_fold_still_allowed(self):
+        # 2.5 * 2 folds to 5.0 — integral, so a legal size.
+        from repro.lang.parser import parse
+        from repro.launcher import const_eval
+
+        src = lol(
+            "WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ "
+            "PRODUKT OF 2.5 AN 2\n"
+            "a'Z 4 R 7\nVISIBLE a'Z 4"
+        )
+        decl = parse(src).body[0]
+        assert const_eval(decl.size, 2) == 5
+        r = run_lolcode(src, 2, executor="process", barrier_timeout=60)
+        assert r.outputs == ["7\n", "7\n"]
+
     def test_result_metadata(self):
         r = run_lolcode(
             lol("WE HAS A x ITZ SRSLY A NUMBR\nVISIBLE 1"), 2, seed=1

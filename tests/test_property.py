@@ -237,7 +237,9 @@ class TestDifferentialProperty:
     )
     def test_arith_agreement(self, a, b, op):
         from repro import run_lolcode
-        from repro.compiler import run_compiled
 
         src = f"HAI 1.2\nVISIBLE {op} {a} AN {b}\nKTHXBYE\n"
-        assert run_lolcode(src, 1).output == run_compiled(src, 1).output
+        assert (
+            run_lolcode(src, 1).output
+            == run_lolcode(src, 1, engine="compiled").output
+        )
