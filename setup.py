@@ -17,6 +17,7 @@ setup(
             "lollint=repro.cli:lollint_main",
             "lolfmt=repro.cli:lolfmt_main",
             "lolbench=repro.cli:lolbench_main",
+            "lolserve=repro.cli:lolserve_main",
         ]
     },
 )

@@ -27,6 +27,7 @@ from .orchestrator import (
     best_of,
     collect_failures,
     default_machines,
+    percentile,
     render_results,
     run_sweep,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "compare_to_baseline",
     "default_machines",
     "main",
+    "percentile",
     "regressions",
     "render_comparison",
     "render_results",

@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from ..compiler import CompileError
 from ..launcher import run_lolcode
 from ..noc import MachineModel, cray_xc40, epiphany_iii
@@ -43,6 +45,17 @@ def best_of(fn, reps: int) -> float:
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated ``q``-th percentile (0..100) of ``samples``.
+
+    Shared latency helper for the sweep and the service-throughput
+    benchmark (p50/p99 rows in ``BENCH_service.json``).
+    """
+    if not samples:
+        raise ValueError("percentile of no samples")
+    return float(np.percentile(list(samples), q))
 
 
 def default_machines() -> List[MachineModel]:

@@ -9,6 +9,8 @@
   ``lolrun -np 16 code.lol``.
 * ``lolbench`` — workload sweep orchestrator over the
   :mod:`repro.workloads` registry (also ``python -m repro.bench``).
+* ``lolserve`` — persistent execution service: warm worker pool behind a
+  JSON-over-unix-socket job queue (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -126,9 +128,10 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--executor",
-        choices=("thread", "process"),
+        choices=("thread", "process", "pool"),
         default="thread",
-        help="PE executor (process = true parallelism, numeric data only)",
+        help="PE executor (process = true parallelism, numeric data "
+        "only; pool = process worlds on warm persistent workers)",
     )
     parser.add_argument(
         "--compiled",
@@ -189,6 +192,13 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
 def lolbench_main(argv: Optional[Sequence[str]] = None) -> int:
     """Workload sweep orchestrator (thin alias for ``repro.bench.main``)."""
     from .bench import main
+
+    return main(argv)
+
+
+def lolserve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Execution service CLI (thin alias for ``repro.service.cli.main``)."""
+    from .service.cli import main
 
     return main(argv)
 

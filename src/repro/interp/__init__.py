@@ -25,6 +25,7 @@ compiled form is context-free; each PE runs it against its own
 
 from functools import lru_cache
 
+from ..singleflight import single_flight
 from .closures import ClosureCompiler, CompiledProgram, compile_program
 from .env import Binding, Env, UNDECLARED
 from .interpreter import KNOWN_LIBRARIES, Interpreter, interpret, run_serial
@@ -47,6 +48,7 @@ from .values import (
 ENGINES = ("closure", "ast", "compiled")
 
 
+@single_flight
 @lru_cache(maxsize=64)
 def compile_closures_cached(
     source: str, filename: str = "<string>", count_flops: bool = False
@@ -55,6 +57,10 @@ def compile_closures_cached(
 
     ``count_flops`` is part of the key because FLOP accounting is baked
     into the compiled closures (zero cost when tracing is off).
+
+    Safe under concurrent callers: the :func:`~repro.singleflight.single_flight`
+    guard serialises same-key compiles, so N simultaneous submissions of
+    one source (the execution service's steady state) compile it once.
     """
     from ..lang.parser import parse_cached
 

@@ -1,13 +1,16 @@
 """SPMD launcher for LOLCODE programs — the paper's ``coprsh`` / ``aprun``.
 
 ``run_lolcode(source, n_pes)`` is the one-call entry point used by the
-``lolrun`` CLI, the examples, and the benchmarks.  Three executors:
+``lolrun`` CLI, the examples, and the benchmarks.  Four executors:
 
 * ``"thread"`` (default) — one Python thread per PE; supports every
   feature including the race detector;
 * ``"process"`` — one OS process per PE over shared memory; true
   parallelism, numeric symmetric data only (see
   :mod:`repro.shmem.runtime_procs`);
+* ``"pool"`` — the process executor's worlds on *warm*, persistent
+  worker processes (:mod:`repro.service.pool`): no per-call spawn/exec
+  cost, same restrictions as ``"process"``;
 * ``"serial"`` — requires ``n_pes == 1``; runs inline (the behaviour of a
   plain LOLCODE interpreter, ``loli``).
 
@@ -36,7 +39,7 @@ from ..shmem.heap import SymmetricPlan
 from ..shmem.runtime_procs import run_spmd_procs
 from ..shmem.runtime_threads import SpmdResult, run_spmd
 
-EXECUTORS = ("thread", "process", "serial")
+EXECUTORS = ("thread", "process", "serial", "pool")
 
 
 def _const_fold(expr: ast.Expr, n_pes: int) -> object:
@@ -182,12 +185,28 @@ def run_lolcode(
         compile_python_cached(source, filename, trace)
     worker = partial(_pe_main, source, filename, max_steps, engine)
 
-    if executor == "process":
+    if executor in ("process", "pool"):
         if race_detection:
             raise LolParallelError(
                 "race detection requires the thread executor"
             )
         plan = plan_from_program(program, n_pes)
+        if executor == "pool":
+            # Warm worker pool (repro.service): same worlds and the
+            # same SpmdResult as the cold process executor, but the
+            # worker processes persist across calls.  Imported lazily —
+            # the service layer is optional for plain launches.
+            from ..service.pool import run_pooled
+
+            return run_pooled(
+                worker,
+                n_pes,
+                plan,
+                seed=seed,
+                stdin_lines=stdin_lines,
+                trace=trace,
+                barrier_timeout=barrier_timeout,
+            )
         return run_spmd_procs(
             worker,
             n_pes,

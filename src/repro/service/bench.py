@@ -1,0 +1,201 @@
+"""Service-throughput benchmark: warm pool vs cold process executor.
+
+Measures what the warm worker pool buys on exactly the workload the
+paper's launcher model is worst at — many small kernels submitted one
+after another.  ``run_service_bench`` starts a real server
+(:class:`~repro.service.server.BackgroundServer`), drives it through the
+real client, and for each executor under test runs a *submit loop*:
+``jobs`` submissions of one small registry kernel, each awaited to
+completion, per-job latency recorded.
+
+Reported per executor row (``BENCH_service.json``):
+
+* ``jobs_per_s`` — completed jobs per wall-clock second of the loop;
+* ``p50_s`` / ``p99_s`` — per-job latency percentiles
+  (:func:`repro.bench.percentile`, the sweep's shared helper);
+* ``total_s``, ``min_s``, ``max_s`` — loop aggregates.
+
+The headline number is ``speedup_pool_vs_process``: the cold process
+executor pays one full ``spawn`` (fresh interpreter + imports) per PE
+per job, the pool pays it once at warm-up — the acceptance gate expects
+the pool to be at least 3x faster on a 50-job small-kernel loop.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Optional, Sequence
+
+from ..bench import percentile
+from .client import ServiceClient
+from .scheduler import ServiceError
+from .server import BackgroundServer
+
+DEFAULT_OUT = "BENCH_service.json"
+SCHEMA_VERSION = 1
+
+#: Executors compared by default: the warm pool against the cold
+#: per-call process spawn it replaces.
+DEFAULT_EXECUTORS = ("pool", "process")
+
+
+def _submit_loop(
+    client: ServiceClient,
+    *,
+    executor: str,
+    workload: str,
+    n_pes: int,
+    jobs: int,
+    seed: int,
+    job_timeout: float,
+) -> dict:
+    """Submit ``jobs`` kernels sequentially, waiting for each; returns
+    the executor's result row."""
+    latencies: list[float] = []
+    t_loop = time.perf_counter()
+    for i in range(jobs):
+        t0 = time.perf_counter()
+        job_id = client.submit(
+            workload=workload,
+            smoke=True,
+            n_pes=n_pes,
+            executor=executor,
+            seed=seed + i,
+            timeout=job_timeout,
+        )
+        row = client.result(job_id, timeout=job_timeout)
+        latencies.append(time.perf_counter() - t0)
+        if row.get("checker") != "pass":
+            raise ServiceError(
+                f"{workload}[{executor}] job {i} failed verification: "
+                f"{row.get('checker')}"
+            )
+    total = time.perf_counter() - t_loop
+    return {
+        "executor": executor,
+        "jobs": jobs,
+        "total_s": round(total, 6),
+        "jobs_per_s": round(jobs / total, 3),
+        "p50_s": round(percentile(latencies, 50), 6),
+        "p99_s": round(percentile(latencies, 99), 6),
+        "min_s": round(min(latencies), 6),
+        "max_s": round(max(latencies), 6),
+    }
+
+
+def run_service_bench(
+    *,
+    jobs: int = 50,
+    workload: str = "ring",
+    n_pes: int = 2,
+    executors: Sequence[str] = DEFAULT_EXECUTORS,
+    seed: int = 42,
+    job_timeout: float = 120.0,
+    socket_path: Optional[str] = None,
+) -> dict:
+    """Run the full benchmark; returns the ``BENCH_service.json`` payload."""
+    rows = []
+    with BackgroundServer(socket_path, max_concurrency=1) as bg:
+        client = ServiceClient(bg.socket_path, timeout=job_timeout)
+        client.ping()
+        for executor in executors:
+            # One untimed warm-up job per executor: compile caches warm
+            # for everyone, and the pool pays its one-time spawn here —
+            # the steady state is what the service actually serves.
+            warm = client.submit(
+                workload=workload,
+                smoke=True,
+                n_pes=n_pes,
+                executor=executor,
+                seed=seed,
+                timeout=job_timeout,
+            )
+            client.result(warm, timeout=job_timeout)
+            rows.append(
+                _submit_loop(
+                    client,
+                    executor=executor,
+                    workload=workload,
+                    n_pes=n_pes,
+                    jobs=jobs,
+                    seed=seed,
+                    job_timeout=job_timeout,
+                )
+            )
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "workload": workload,
+            "n_pes": n_pes,
+            "jobs": jobs,
+            "seed": seed,
+            "note": "sequential submit loop through the lolserve "
+            "unix-socket service; latency = submit-to-result per job",
+        },
+        "rows": rows,
+    }
+    by_exec = {row["executor"]: row for row in rows}
+    if "pool" in by_exec and "process" in by_exec:
+        payload["speedup_pool_vs_process"] = round(
+            by_exec["process"]["total_s"] / by_exec["pool"]["total_s"], 2
+        )
+    return payload
+
+
+def render_bench(payload: dict) -> str:
+    """Fixed-width terminal summary of a bench payload."""
+    lines = [
+        f"{'executor':<9} {'jobs':>5} {'total':>9} {'jobs/s':>8} "
+        f"{'p50':>9} {'p99':>9}"
+    ]
+    for row in payload["rows"]:
+        lines.append(
+            f"{row['executor']:<9} {row['jobs']:>5} {row['total_s']:>8.3f}s "
+            f"{row['jobs_per_s']:>8.2f} {row['p50_s'] * 1e3:>7.2f}ms "
+            f"{row['p99_s'] * 1e3:>7.2f}ms"
+        )
+    speedup = payload.get("speedup_pool_vs_process")
+    if speedup is not None:
+        lines.append(f"warm pool vs cold process executor: {speedup:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``lolserve bench`` — run and write ``BENCH_service.json``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="lolserve bench",
+        description="service throughput: warm pool vs cold process executor",
+    )
+    parser.add_argument("--jobs", type=int, default=50, help="jobs per executor")
+    parser.add_argument(
+        "--workload", default="ring", help="registry kernel to submit"
+    )
+    parser.add_argument("--pes", type=int, default=2, dest="n_pes")
+    parser.add_argument(
+        "--executors", nargs="+", default=list(DEFAULT_EXECUTORS),
+        help="executors to compare (default: pool process)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT, help=f"output JSON (default {DEFAULT_OUT})"
+    )
+    args = parser.parse_args(argv)
+    payload = run_service_bench(
+        jobs=args.jobs,
+        workload=args.workload,
+        n_pes=args.n_pes,
+        executors=tuple(args.executors),
+        seed=args.seed,
+    )
+    print(render_bench(payload))
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0

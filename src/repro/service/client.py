@@ -1,0 +1,149 @@
+"""Synchronous client for the execution service.
+
+Speaks the newline-delimited JSON protocol of
+:mod:`repro.service.server` over a unix-domain socket.  Each request
+opens its own connection, so one client object is safe to share across
+threads and a long ``wait`` never head-of-line-blocks other calls.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Mapping, Optional
+
+from .scheduler import ServiceError
+
+#: Extra slack (seconds) on the socket deadline beyond a wait timeout,
+#: so the server's own timeout error arrives before the socket's.
+_SOCKET_SLACK = 10.0
+
+
+class ServiceClient:
+    """Blocking unix-socket client; raises :class:`ServiceError` on
+    protocol-level failures (``ok: false`` responses)."""
+
+    def __init__(self, socket_path: str, *, timeout: float = 60.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, op: str, *, _deadline: Optional[float] = None, **fields) -> dict:
+        """One request/response round trip."""
+        payload = {"op": op, **{k: v for k, v in fields.items() if v is not None}}
+        deadline = _deadline if _deadline is not None else self.timeout
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(deadline)
+                sock.connect(self.socket_path)
+                sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+                line = self._read_line(sock)
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"no response from {self.socket_path} within {deadline:g}s"
+            ) from exc
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.socket_path}: {exc}"
+            ) from exc
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"malformed response: {exc}") from exc
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        chunks: list[bytes] = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        if not chunks:
+            raise ServiceError("connection closed before a response arrived")
+        return b"".join(chunks)
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> int:
+        """Round-trip check; returns the server pid."""
+        return self.request("ping")["pid"]
+
+    def submit(
+        self,
+        source: Optional[str] = None,
+        *,
+        workload: Optional[str] = None,
+        params: Optional[Mapping[str, int]] = None,
+        smoke: bool = False,
+        n_pes: int = 1,
+        engine: str = "closure",
+        executor: str = "pool",
+        seed: Optional[int] = None,
+        trace: bool = False,
+        timeout: Optional[float] = None,
+        filename: Optional[str] = None,
+    ) -> str:
+        """Submit a job; returns its job id immediately."""
+        return self.request(
+            "submit",
+            source=source,
+            workload=workload,
+            params=dict(params) if params else None,
+            smoke=smoke or None,
+            n_pes=n_pes,
+            engine=engine,
+            executor=executor,
+            seed=seed,
+            trace=trace or None,
+            timeout=timeout,
+            filename=filename,
+        )["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self.request("status", job_id=job_id)["job"]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """Block until the job is terminal; returns its description.
+
+        ``timeout`` defaults to the client's timeout and is enforced
+        server-side (the socket deadline gets extra slack), so the
+        server's "timed out waiting" error — which names the job's
+        current state — always arrives before the socket gives up.
+        """
+        timeout = timeout if timeout is not None else self.timeout
+        return self.request(
+            "wait",
+            job_id=job_id,
+            timeout=timeout,
+            _deadline=timeout + _SOCKET_SLACK,
+        )["job"]
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """Wait for the job and return its ``lolbench``-row result,
+        raising :class:`ServiceError` if it did not complete."""
+        job = self.wait(job_id, timeout)
+        if job["state"] != "done":
+            raise ServiceError(
+                f"{job_id} finished as {job['state']}: "
+                f"{job.get('error', 'no error recorded')}"
+            )
+        return job["result"]
+
+    def cancel(self, job_id: str) -> bool:
+        return self.request("cancel", job_id=job_id)["cancelled"]
+
+    def workloads(self) -> list[str]:
+        return self.request("workloads")["workloads"]
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> None:
+        self.request("shutdown")

@@ -1,0 +1,356 @@
+"""Asyncio job scheduler for the execution service.
+
+One :class:`Scheduler` owns a FIFO :class:`asyncio.Queue` drained by
+``max_concurrency`` worker tasks — bounded concurrency and first-come
+first-served fairness fall out of that shape directly.  Each job runs
+``run_lolcode`` on a thread (:func:`asyncio.to_thread`) under
+:func:`asyncio.wait_for`, so a per-job timeout cannot stall the queue.
+
+Compilation is **single-flight**: ``run_lolcode`` goes through the
+process-wide compile caches (:func:`repro.interp.compile_closures_cached`
+/ :func:`repro.compiler.compile_python_cached`), which serialise
+concurrent identical keys — N simultaneous submissions of one source
+compile it once, the other N-1 block briefly and reuse the warm entry.
+
+Result payloads mirror ``lolbench`` rows (workload / engine / executor /
+n_pes / params / seconds / checker), so a service consumer and a sweep
+consumer read the same schema.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..lang.errors import LolError
+
+#: Fallback per-job timeout (seconds) when a submission does not set one.
+DEFAULT_JOB_TIMEOUT = 120.0
+
+
+class ServiceError(Exception):
+    """A request-level failure (bad submission, unknown job, ...)."""
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to execute one submission."""
+
+    source: str
+    n_pes: int = 1
+    engine: str = "closure"
+    executor: str = "pool"
+    seed: Optional[int] = None
+    trace: bool = False
+    filename: str = "<service>"
+    workload: Optional[str] = None
+    params: Mapping[str, int] = field(default_factory=dict)
+    timeout: Optional[float] = None
+
+    @classmethod
+    def from_request(cls, payload: Mapping) -> "JobSpec":
+        """Validate and resolve a wire-format submission.
+
+        Submissions carry either raw ``source`` or a registry
+        ``workload`` name (plus ``params`` overrides); a workload job
+        gets its source generated here and its checker run on the
+        result, exactly like a ``lolbench`` sweep cell.
+        """
+        from ..launcher import ENGINES, EXECUTORS
+
+        source = payload.get("source")
+        workload = payload.get("workload")
+        params = dict(payload.get("params") or {})
+        if (source is None) == (workload is None):
+            raise ServiceError(
+                "submit needs exactly one of 'source' or 'workload'"
+            )
+        if workload is not None:
+            from ..workloads import WorkloadError, get_workload
+
+            try:
+                w = get_workload(workload)
+                params = dict(
+                    w.bind_params(params, smoke=bool(payload.get("smoke")))
+                )
+                source = w.source(params)
+            except WorkloadError as exc:
+                raise ServiceError(str(exc)) from exc
+        engine = payload.get("engine", "closure")
+        executor = payload.get("executor", "pool")
+        if engine not in ENGINES:
+            raise ServiceError(
+                f"unknown engine {engine!r} (choose from {ENGINES})"
+            )
+        if executor not in EXECUTORS:
+            raise ServiceError(
+                f"unknown executor {executor!r} (choose from {EXECUTORS})"
+            )
+        n_pes = payload.get("n_pes", 1)
+        if not isinstance(n_pes, int) or n_pes < 1:
+            raise ServiceError(f"n_pes must be a positive integer, got {n_pes!r}")
+        timeout = payload.get("timeout")
+        if timeout is not None and not (
+            isinstance(timeout, (int, float)) and timeout > 0
+        ):
+            raise ServiceError(f"timeout must be a positive number, got {timeout!r}")
+        return cls(
+            source=source,
+            n_pes=n_pes,
+            engine=engine,
+            executor=executor,
+            seed=payload.get("seed"),
+            trace=bool(payload.get("trace", False)),
+            filename=payload.get("filename")
+            or (f"<workload:{workload}>" if workload else "<service>"),
+            workload=workload,
+            params=params,
+            timeout=timeout,
+        )
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record."""
+
+    job_id: str
+    spec: JobSpec
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def describe(self) -> dict:
+        """Wire-format job status (the ``status``/``wait`` payload)."""
+        out = {
+            "job_id": self.job_id,
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.result is not None:
+            out["result"] = self.result
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def execute_job(spec: JobSpec) -> dict:
+    """Run one job synchronously; returns a ``lolbench``-row-shaped dict.
+
+    Raises on infrastructure failures; LOLCODE/program failures are
+    raised as :class:`~repro.lang.errors.LolError` and recorded by the
+    scheduler as the job's error.
+    """
+    from ..launcher import run_lolcode
+
+    t0 = time.perf_counter()
+    result = run_lolcode(
+        spec.source,
+        spec.n_pes,
+        executor=spec.executor,
+        engine=spec.engine,
+        seed=spec.seed,
+        trace=spec.trace,
+        filename=spec.filename,
+    )
+    elapsed = time.perf_counter() - t0
+    row = {
+        "workload": spec.workload or "<source>",
+        "engine": spec.engine,
+        "executor": spec.executor,
+        "n_pes": spec.n_pes,
+        "params": dict(spec.params),
+        "seconds": round(elapsed, 6),
+        "outputs": result.outputs,
+        "output": result.output,
+    }
+    if spec.trace and result.trace is not None:
+        row["trace"] = result.trace.summary()
+    if spec.workload is not None:
+        from ..workloads import get_workload
+
+        try:
+            problems = get_workload(spec.workload).check(
+                result, spec.n_pes, dict(spec.params)
+            )
+        except Exception as exc:  # noqa: BLE001 - a checker tripping over
+            # malformed output is a verification failure, not a crash
+            problems = [f"checker raised {type(exc).__name__}: {exc}"]
+        row["checker"] = "pass" if not problems else problems
+    return row
+
+
+class Scheduler:
+    """FIFO queue + bounded worker tasks over :func:`execute_job`."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrency: int = 2,
+        default_timeout: float = DEFAULT_JOB_TIMEOUT,
+        max_retained_jobs: int = 1000,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        self.max_concurrency = max_concurrency
+        self.default_timeout = default_timeout
+        self.max_retained_jobs = max_retained_jobs
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._jobs: Dict[str, Job] = {}
+        #: terminal job ids in completion order, oldest first — the
+        #: eviction queue that keeps a long-lived service's memory flat
+        self._terminal_order: deque[str] = deque()
+        self._ids = itertools.count(1)
+        self._workers: list[asyncio.Task] = []
+        #: pool-executor jobs serialise here *before* their timeout
+        #: clock starts: the warm pool runs one job at a time, and a
+        #: job must not be "timed out" for time spent queued behind
+        #: sibling pool jobs it could never preempt.
+        self._pool_gate = asyncio.Lock()
+        self._running = 0
+        self.peak_running = 0  # observability: max concurrent jobs seen
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._worker_loop(), name=f"sched-worker-{i}")
+            for i in range(self.max_concurrency)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+
+    # -- client-facing operations -------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Enqueue a job (FIFO); returns its record immediately."""
+        job = Job(job_id=f"job-{next(self._ids)}", spec=spec)
+        self._jobs[job.job_id] = job
+        self._queue.put_nowait(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    async def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        job = self.get(job_id)
+        try:
+            await asyncio.wait_for(job.done.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError(
+                f"timed out waiting for {job_id} (state: {job.state.value})"
+            ) from None
+        return job
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; running jobs cannot be revoked (their
+        worker thread is already executing) and return ``False``."""
+        job = self.get(job_id)
+        if job.state is JobState.QUEUED:
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            job.done.set()
+            self._retire(job)
+            return True
+        return False
+
+    def _retire(self, job: Job) -> None:
+        """Record a terminal job and evict the oldest terminal records
+        beyond ``max_retained_jobs`` — a persistent service must not
+        accumulate every result (with its full per-PE outputs) forever."""
+        self._terminal_order.append(job.job_id)
+        while len(self._terminal_order) > self.max_retained_jobs:
+            self._jobs.pop(self._terminal_order.popleft(), None)
+
+    def stats(self) -> dict:
+        states = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            states[job.state.value] += 1
+        return {
+            "jobs": len(self._jobs),
+            "states": states,
+            "queued": self._queue.qsize(),
+            "running": self._running,
+            "peak_running": self.peak_running,
+            "max_concurrency": self.max_concurrency,
+        }
+
+    # -- execution ----------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                if job.state is JobState.QUEUED:
+                    await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        self._running += 1
+        self.peak_running = max(self.peak_running, self._running)
+        try:
+            if job.spec.executor == "pool":
+                async with self._pool_gate:
+                    await self._execute(job)
+            else:
+                await self._execute(job)
+        finally:
+            self._running -= 1
+            job.finished_at = time.time()
+            job.done.set()
+            self._retire(job)
+
+    async def _execute(self, job: Job) -> None:
+        job.started_at = time.time()
+        timeout = job.spec.timeout or self.default_timeout
+        try:
+            job.result = await asyncio.wait_for(
+                asyncio.to_thread(execute_job, job.spec), timeout
+            )
+            job.state = JobState.DONE
+        except asyncio.TimeoutError:
+            # The worker thread cannot be killed; the run itself is
+            # bounded by its barrier timeout.  The *job* is failed now
+            # so the queue keeps moving.
+            job.state = JobState.ERROR
+            job.error = f"job timed out after {timeout:g}s"
+        except LolError as exc:
+            job.state = JobState.ERROR
+            job.error = exc.render()
+        except Exception as exc:  # noqa: BLE001 - recorded per job
+            job.state = JobState.ERROR
+            job.error = f"{type(exc).__name__}: {exc}"

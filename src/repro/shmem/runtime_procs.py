@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import threading
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable, Optional, Sequence
@@ -329,22 +330,48 @@ def run_spmd_procs(
         ]
         for p in procs:
             p.start()
+        # Drain with per-PE completion tracking.  A single queue.get
+        # timeout must not end the drain: the PEs that *did* finish
+        # already have results in flight, and the error should name
+        # exactly the ranks that never reported.  The deadline is a
+        # *silence* window — every arriving message pushes it out — so
+        # staggered-but-healthy PEs are not cut off at a fixed total.
         results: dict[int, tuple] = {}
+        error_pes: set[int] = set()
         errors: list[tuple] = []
-        for _ in range(n_pes):
-            try:
-                msg = queue.get(timeout=barrier_timeout * 2)
-            except Exception:
-                errors.append(("error", -1, "worker result timeout", "", None))
+        drain_timeout = barrier_timeout * 2
+        deadline = time.monotonic() + drain_timeout
+        while len(results) + len(error_pes) < n_pes:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 break
+            try:
+                msg = queue.get(timeout=min(remaining, 1.0))
+            except Exception:
+                # No message this tick.  If every unreported PE's process
+                # is already dead, nothing more can arrive — stop early
+                # instead of waiting out the full deadline.
+                pending = [
+                    pe
+                    for pe in range(n_pes)
+                    if pe not in results and pe not in error_pes
+                ]
+                if pending and not any(procs[pe].is_alive() for pe in pending):
+                    break
+                continue
+            deadline = time.monotonic() + drain_timeout
             if msg[0] == "error":
+                error_pes.add(msg[1])
                 errors.append(msg)
-                # Keep draining briefly: a crashing PE aborts the barrier
-                # and siblings then fail with secondary "barrier broken"
+                # Keep draining: a crashing PE aborts the barrier and
+                # siblings then fail with secondary "barrier broken"
                 # errors; we want the root cause, not whichever error
                 # reached the queue first.
                 continue
             results[msg[1]] = msg
+        stragglers = sorted(
+            pe for pe in range(n_pes) if pe not in results and pe not in error_pes
+        )
         # Prefer a root-cause error over secondary barrier-broken ones.
         error: Optional[tuple] = None
         if errors:
@@ -360,9 +387,12 @@ def run_spmd_procs(
             raise LolParallelError(
                 f"PE {pe} failed in process executor: {brief}\n{tb}"
             )
-        if len(results) != n_pes:
+        if stragglers:
+            finished = sorted(results)
             raise LolParallelError(
-                f"only {len(results)}/{n_pes} PEs reported results"
+                f"PE(s) {stragglers} did not report a result within "
+                f"{drain_timeout:.1f}s of the last completion (completed: "
+                f"{finished if finished else 'none'})"
             )
         outputs = [results[pe][2] for pe in range(n_pes)]
         returns = [results[pe][3] for pe in range(n_pes)]

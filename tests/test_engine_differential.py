@@ -155,6 +155,43 @@ class TestWorkloadRegistryThreeWay:
             f"{workload}: compiled diverged from tree-walker at {n_pes} PEs"
         )
 
+    @pytest.mark.procs
+    @pytest.mark.service
+    @pytest.mark.parametrize("n_pes", [1, 4])
+    @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+    def test_pool_executor(self, workload, n_pes):
+        """The warm worker pool must be observationally identical to the
+        other executors on every registered workload: three-way engine
+        agreement *within* the pool, and pool-vs-thread agreement for
+        the reference engine.  (Not marked slow: the pool's whole point
+        is that repeated jobs cost milliseconds.)"""
+        from repro.workloads import get_workload
+
+        w = get_workload(workload)
+        if n_pes < w.min_pes:
+            pytest.skip(f"{workload} needs >= {w.min_pes} PEs")
+        src = w.source(smoke=True)
+        outputs, restriction = _three_way_outputs(src, n_pes, "pool", seed=42)
+        if not w.deterministic and n_pes > 1:
+            return
+        assert outputs["ast"] == outputs["closure"], (
+            f"{workload}: closure diverged from tree-walker at {n_pes} PEs "
+            f"on the pool executor"
+        )
+        threaded = run_lolcode(
+            src, n_pes, engine="ast", executor="thread", seed=42
+        ).outputs
+        assert outputs["ast"] == threaded, (
+            f"{workload}: pool executor diverged from thread executor "
+            f"at {n_pes} PEs"
+        )
+        if restriction:
+            pytest.skip(restriction)
+        assert outputs["ast"] == outputs["compiled"], (
+            f"{workload}: compiled diverged from tree-walker at {n_pes} PEs "
+            f"on the pool executor"
+        )
+
 
 # ---------------------------------------------------------------------------
 # Randomized program generation (seeded — failures reproduce exactly).

@@ -61,6 +61,14 @@ def _worker_crash(ctx):
     ctx.barrier_all()
 
 
+def _worker_straggles_on_pe1(ctx):
+    import time
+
+    if ctx.my_pe == 1:
+        time.sleep(30.0)  # far beyond the caller's drain deadline
+    return ctx.my_pe
+
+
 def _plan(**entries) -> SymmetricPlan:
     plan = SymmetricPlan()
     for name, (t, is_array, size, lock) in entries.items():
@@ -93,6 +101,17 @@ class TestProcExecutorPython:
         plan = SymmetricPlan()
         with pytest.raises(LolParallelError, match="boom"):
             run_spmd_procs(_worker_crash, 2, plan, barrier_timeout=15)
+
+    @pytest.mark.slow
+    def test_straggler_ranks_are_named(self):
+        """One queue.get timeout must not end the drain: the PEs that
+        finished are collected, and the error names exactly the ranks
+        that never reported (here PE 1, and only PE 1)."""
+        plan = SymmetricPlan()
+        with pytest.raises(LolParallelError, match=r"PE\(s\) \[1\]") as info:
+            run_spmd_procs(_worker_straggles_on_pe1, 3, plan, barrier_timeout=2)
+        message = str(info.value)
+        assert "completed: [0, 2]" in message
 
     def test_yarn_symmetric_rejected(self):
         plan = _plan(s=(LolType.YARN, False, 1, False))
