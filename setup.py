@@ -7,11 +7,17 @@ setup(
     "LOLCODE over an OpenSHMEM-like SPMD/PGAS runtime",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    package_data={"repro.workloads": ["lol/*.lol"]},
+    package_data={
+        "repro.workloads": ["lol/*.lol"],
+        # The bundled single-node SHMEM shim the native engine builds
+        # generated C against (engine="c" / lolcc --build).
+        "repro.compiler": ["lol_shmem_shim.c", "lol_shmem_shim.h"],
+    },
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [
             "lcc=repro.cli:lcc_main",
+            "lolcc=repro.cli:lolcc_main",
             "loli=repro.cli:loli_main",
             "lolrun=repro.cli:lolrun_main",
             "lollint=repro.cli:lollint_main",

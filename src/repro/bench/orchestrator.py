@@ -17,6 +17,12 @@ For each (workload, executor, n_pes) cell the orchestrator:
 verification failures are recorded in the rows (and summarized in
 ``payload["failures"]``) rather than raised, so one broken cell cannot
 hide the rest of the sweep.
+
+``engine="c"`` rows are special-cased three ways: they always run on
+the process executor (native PEs are OS processes), they carry no
+trace/projection data (native binaries are not instrumented), and a
+host without a C compiler records an explicit per-row skip instead of
+an error — the matrix stays green on interpreter-only machines.
 """
 
 from __future__ import annotations
@@ -28,7 +34,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..compiler import CompileError
+from ..compiler import CompileError, NativeToolchainError
+from ..compiler.native import uses_random
 from ..launcher import run_lolcode
 from ..noc import MachineModel, cray_xc40, epiphany_iii
 from ..noc.report import projection_rows
@@ -99,12 +106,16 @@ def _measure_cell(
     rows: List[dict] = []
     outputs: Dict[str, str] = {}
     for engine in config.engines:
+        native = engine == "c"
+        # The native engine's PEs are always OS processes; record the
+        # executor that actually hosts them rather than the sweep label.
+        executor_used = "process" if native else executor
 
         def once(trace: bool = False):
             return run_lolcode(
                 source,
                 n_pes,
-                executor=executor,
+                executor=executor_used,
                 seed=config.seed,
                 engine=engine,
                 trace=trace,
@@ -114,12 +125,20 @@ def _measure_cell(
         row = {
             "workload": workload.name,
             "engine": engine,
-            "executor": executor,
+            "executor": executor_used,
             "n_pes": n_pes,
             "params": dict(params),
         }
         try:
-            traced = once(trace=True)
+            # Native binaries are not instrumented: their checker run is
+            # untraced and their rows carry no trace/projection data.
+            traced = once(trace=not native)
+        except NativeToolchainError as exc:
+            # No C compiler on this host: an environment skip, recorded
+            # per row exactly like a compile restriction.
+            row["skipped"] = f"native toolchain unavailable: {exc}"
+            rows.append(row)
+            continue
         except CompileError as exc:
             # A documented compile-time restriction of the compiled
             # backend (SRS computed identifiers, nested/symmetric
@@ -142,20 +161,38 @@ def _measure_cell(
         outputs[engine] = traced.output
         once()  # warm the untraced compile cache before timing
         row["seconds"] = round(best_of(once, config.reps), 6)
-        row["trace"] = traced.trace.summary()
-        row["projections"] = projection_rows(traced.trace, list(machines))
+        if traced.trace is not None:
+            row["trace"] = traced.trace.summary()
+            row["projections"] = projection_rows(traced.trace, list(machines))
         rows.append(row)
 
     # Differential verification: every engine must emit identical output.
-    baseline_engine = next(iter(outputs), None)
+    # The native engine draws from C's rand(), not the interpreters'
+    # seeded Mersenne Twister, so RNG-using kernels cannot be compared
+    # against it bit-for-bit; that skip is recorded explicitly.
+    native_rng_differs = False
+    if "c" in outputs:
+        try:
+            native_rng_differs = uses_random(source)
+        except Exception:  # noqa: BLE001 - analysis is best-effort here
+            native_rng_differs = False
+    baseline_engine = next(
+        (e for e in outputs if e != "c"), next(iter(outputs), None)
+    )
     for row in rows:
         engine = row["engine"]
         if "error" in row or "skipped" in row or engine not in outputs:
             continue
+        involves_native = engine == "c" or baseline_engine == "c"
         if not workload.deterministic:
             row["differential"] = "skipped (nondeterministic workload)"
         elif len(outputs) < 2:
             row["differential"] = "skipped (single engine)"
+        elif involves_native and native_rng_differs:
+            row["differential"] = (
+                "skipped (native rand() stream differs from the Python "
+                "engines' seeded RNG)"
+            )
         elif outputs[engine] == outputs[baseline_engine]:
             row["differential"] = "pass"
         else:
@@ -249,12 +286,17 @@ def render_results(results: Sequence[Mapping]) -> str:
         diff = {"pass": "ok"}.get(diff, "skip" if diff.startswith("skipped") else "FAIL")
         proj = {p["machine"]: p["makespan_s"] for p in r.get("projections", [])}
         epiphany = next(
-            (v for k, v in proj.items() if "Epiphany" in k), float("nan")
+            (v for k, v in proj.items() if "Epiphany" in k), None
         )
-        xc40 = next((v for k, v in proj.items() if "XC40" in k), float("nan"))
+        xc40 = next((v for k, v in proj.items() if "XC40" in k), None)
+
+        def _ms(value):
+            # Untraced rows (the native engine) have no projections.
+            return f"{value * 1e3:>9.3f}ms" if value is not None else f"{'-':>11}"
+
         lines.append(
             f"{r['workload']:<{width}} {r['engine']:>8} {r['executor']:>7} "
             f"{r['n_pes']:>4} {r['seconds']:>10.4f} {check:>6} {diff:>5} "
-            f"{epiphany * 1e3:>9.3f}ms {xc40 * 1e3:>9.3f}ms"
+            f"{_ms(epiphany)} {_ms(xc40)}"
         )
     return "\n".join(lines)

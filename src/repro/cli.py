@@ -4,9 +4,14 @@
   OpenSHMEM out (``--emit=c``, default, exactly Section VI.E:
   ``lcc code.lol -o executable.c``) or runnable Python out
   (``--emit=python``).
+* ``lolcc`` — the native compiler *driver* on top of ``lcc``: dump the
+  C a program compiles to for a given launch width, or ``--build`` a
+  standalone executable against the bundled single-node SHMEM shim
+  (what ``run_lolcode(engine="c")`` uses under the hood).
 * ``loli`` — serial reference interpreter (the role of ``lci``).
 * ``lolrun`` — SPMD launcher, the ``coprsh`` / ``aprun`` analogue:
-  ``lolrun -np 16 code.lol``.
+  ``lolrun -np 16 code.lol`` (``--engine c`` runs the natively
+  compiled binary, one OS process per PE).
 * ``lolbench`` — workload sweep orchestrator over the
   :mod:`repro.workloads` registry (also ``python -m repro.bench``).
 * ``lolserve`` — persistent execution service: warm worker pool behind a
@@ -71,6 +76,76 @@ def lcc_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def lolcc_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Native compiler driver: dump generated C or build an executable."""
+    parser = argparse.ArgumentParser(
+        prog="lolcc",
+        description="native LOLCODE compiler driver: print the C a "
+        "program compiles to, or --build a standalone executable against "
+        "the bundled single-node SHMEM shim",
+        epilog="a built binary runs serially as-is; for an n-PE world "
+        "launch one process per PE with LOL_SHMEM_PE/LOL_SHMEM_NPES/"
+        "LOL_SHMEM_FILE set (or just use `lolrun --engine c`)",
+    )
+    parser.add_argument("source", help="input .lol file ('-' for stdin)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="-",
+        help="output path (default: C to stdout; with --build, print the "
+        "cached binary's path instead of copying it)",
+    )
+    parser.add_argument(
+        "--build",
+        action="store_true",
+        help="compile the generated C with the system C compiler instead "
+        "of dumping it",
+    )
+    parser.add_argument(
+        "-np",
+        "--n-pes",
+        type=int,
+        default=1,
+        dest="n_pes",
+        help="launch width folded into MAH FRENZ symmetric array extents "
+        "(default 1; the binary is specific to this width when the "
+        "program sizes arrays with MAH FRENZ)",
+    )
+    parser.add_argument(
+        "--cc",
+        default=None,
+        help="C compiler to use (default: $LOL_CC, cc, gcc, clang)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        text = _read(args.source)
+        if args.build:
+            import shutil
+
+            from .compiler.native import build_native
+
+            binary = build_native(
+                text, filename=args.source, n_pes=args.n_pes, cc=args.cc
+            )
+            if args.output == "-":
+                print(binary)
+            else:
+                shutil.copy2(binary, args.output)
+                print(f"built {args.output}")
+            return 0
+        from .compiler import compile_c
+
+        out = compile_c(text, filename=args.source, n_pes=args.n_pes)
+    except LolError as exc:
+        return _fail(exc)
+    if args.output == "-":
+        sys.stdout.write(out)
+    else:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(out)
+    return 0
+
+
 def loli_main(argv: Optional[Sequence[str]] = None) -> int:
     from .interp import ENGINES
 
@@ -88,7 +163,8 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
         default="closure",
         help="execution engine (closure = compiled closures, default; "
         "ast = reference tree-walker; compiled = lcc-style "
-        "LOLCODE-to-Python compilation; --max-steps implies ast)",
+        "LOLCODE-to-Python compilation; c = natively compiled single-PE "
+        "binary; --max-steps implies ast)",
     )
     args = parser.parse_args(argv)
     try:
@@ -129,9 +205,10 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--executor",
         choices=("thread", "process", "pool"),
-        default="thread",
-        help="PE executor (process = true parallelism, numeric data "
-        "only; pool = process worlds on warm persistent workers)",
+        default=None,
+        help="PE executor (default: thread, or process for --engine c; "
+        "process = true parallelism, numeric data only; pool = process "
+        "worlds on warm persistent workers)",
     )
     parser.add_argument(
         "--compiled",
@@ -144,7 +221,8 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
         default="closure",
         help="execution engine (closure = compiled closures, default; "
         "ast = reference tree-walker; compiled = lcc-style "
-        "LOLCODE-to-Python compilation)",
+        "LOLCODE-to-Python compilation; c = natively compiled binary "
+        "over the bundled SHMEM shim, one OS process per PE)",
     )
     parser.add_argument(
         "--race-check",
@@ -165,6 +243,10 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         engine = "compiled"
+    # Native PEs are always OS processes, so --engine c defaults the
+    # executor to "process"; an explicit conflicting --executor still
+    # gets the launcher's refusal rather than a silent override.
+    executor = args.executor or ("process" if engine == "c" else "thread")
     try:
         source = _read(args.source)
         from .launcher import run_lolcode
@@ -172,7 +254,7 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
         result = run_lolcode(
             source,
             args.n_pes,
-            executor=args.executor,
+            executor=executor,
             filename=args.source,
             seed=args.seed,
             trace=args.trace,

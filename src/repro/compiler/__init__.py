@@ -1,6 +1,10 @@
 """Source-to-source compilers: the reproduction of the paper's ``lcc``.
 
-* :func:`compile_c` — LOLCODE -> C + OpenSHMEM (the paper's target);
+* :func:`compile_c` — LOLCODE -> C + OpenSHMEM (the paper's target;
+  ``n_pes=`` folds ``MAH FRENZ`` array extents for a fixed width);
+* :func:`build_native` / :func:`run_native_source` — build that C with
+  the system compiler against the bundled single-node SHMEM shim and
+  run it as real OS processes (``run_lolcode(..., engine="c")``);
 * :func:`compile_python` — LOLCODE -> Python targeting :mod:`repro.shmem`
   (the runnable compiled path: ``run_lolcode(..., engine="compiled")``);
 * :func:`compile_python_cached` — the bounded LRU over parse + compile +
@@ -9,10 +13,23 @@
   workers compile in-worker through their own per-process cache);
 * :func:`run_compiled` — deprecated shim over
   ``run_lolcode(engine="compiled")``;
-* :class:`CompileError` — diagnostics for interpret-only constructs.
+* :class:`CompileError` — diagnostics for interpret-only constructs;
+* :class:`NativeToolchainError` — this host cannot build native
+  binaries (no C compiler); distinct from program restrictions so
+  benches and tests can skip rather than fail;
+* :class:`NativeBuildError` — the C compiler *rejected* generated
+  code: a codegen/program failure that must stay loud (never a skip).
 """
 
 from .c_backend import CBackend, compile_c
+from .native import (
+    NativeBuildError,
+    NativeToolchainError,
+    build_native,
+    find_cc,
+    run_native,
+    run_native_source,
+)
 from .py_backend import (
     PyBackend,
     compile_python,
@@ -26,6 +43,12 @@ from .symtab import CompileError, SymbolTable, analyze
 __all__ = [
     "CBackend",
     "compile_c",
+    "NativeBuildError",
+    "NativeToolchainError",
+    "build_native",
+    "find_cc",
+    "run_native",
+    "run_native_source",
     "PyBackend",
     "compile_python",
     "compile_python_cached",

@@ -6,6 +6,10 @@ OpenSHMEM API (Section II: "translates LOLCODE with parallel extensions to
 C with OpenSHMEM routines"; a standard C compiler then produces the
 executable).
 
+This module docstring is the single source of truth for the emitted-C ↔
+LOLCODE mapping; ``docs/language.md`` carries the user-facing version of
+the same table and must stay in sync with it.
+
 Mapping (Tables II/III -> C):
 
 =============================== ==========================================
@@ -13,16 +17,20 @@ LOLCODE                          emitted C
 =============================== ==========================================
 ``ME`` / ``MAH FRENZ``           ``shmem_my_pe()`` / ``shmem_n_pes()``
 ``HUGZ``                         ``shmem_barrier_all()``
-``WE HAS A x ITZ SRSLY A NUMBR`` file-scope ``static long long x;``
-``... AN IM SHARIN IT``          plus ``static long __lock_x;``
+``WE HAS A x ITZ SRSLY A NUMBR`` file-scope ``static long long x LOL_SYMMETRIC;``
+``... AN IM SHARIN IT``          plus ``static long __lock_x LOL_SYMMETRIC;``
 ``TXT MAH BFF k, ...``           scoped ``{ int __tgt = (k); ... }``
 ``UR x`` (NUMBAR)                ``shmem_double_g(&x, __tgt)``
 ``UR x R v``                     ``shmem_double_p(&x, v, __tgt)``
 ``MAH a R UR b`` (arrays)        ``shmem_double_get(a, b, n, __tgt)``
 ``IM SRSLY MESIN WIF x``         ``shmem_set_lock(&__lock_x)``
-``IM MESIN WIF x`` (trylock)     ``__it = lol_from_b(!shmem_test_lock(...))``
+``IM MESIN WIF x`` (trylock)     ``__it = lol_from_b(shmem_test_lock(...) == 0)``
 ``WHATEVR`` / ``WHATEVAR``       ``lol_rand_i()`` / ``lol_rand_f()``
 =============================== ==========================================
+
+(``LOL_SYMMETRIC`` is the prelude macro that places symmetric objects in
+the bundled shim's remappable section under ``-DLOL_SHMEM_SHIM`` and
+expands to nothing for real OpenSHMEM builds.)
 
 Statically typed variables become native C objects; dynamically typed
 variables use the ``lol_value_t`` tagged union from the embedded prelude.
@@ -36,7 +44,11 @@ Backend-specific restrictions, each diagnosed as a
 
 * ``SRS`` computed identifiers (fundamentally dynamic);
 * YARN-typed *symmetric* data (OpenSHMEM moves raw memory);
-* symmetric array extents must be integer literals (C static arrays);
+* symmetric array extents must fold to an integer at compile time — an
+  integer literal always works, and when the launch width is known
+  (``compile_c(..., n_pes=N)``, as the ``engine="c"`` driver does)
+  ``MAH FRENZ`` arithmetic folds too, so registry kernels sized
+  ``THAR IZ MAH FRENZ`` compile per launch width;
 * functions may touch their parameters, their locals, and file-scope
   (top-level / symmetric) data only.
 """
@@ -46,10 +58,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..lang import ast
-from ..lang.errors import SourcePos
+from ..lang.errors import LolError, SourcePos
 from ..lang.parser import parse
-from ..lang.types import LolType
+from ..lang.types import LolType, to_array_size
 from ..interp.interpreter import KNOWN_LIBRARIES
+from ..interp.values import binop, unop
 from .c_prelude import C_PRELUDE
 from .symtab import CompileError, SymbolInfo, SymbolTable, analyze
 
@@ -95,9 +108,48 @@ _CONV: dict[tuple[str, str], str] = {
 
 
 def conv(code: str, src: str, dst: str) -> str:
+    """Wrap C expression ``code`` in the ``src`` -> ``dst`` kind coercion."""
     if src == dst:
         return code
     return _CONV[(src, dst)].format(code)
+
+
+class _NotConstant(Exception):
+    """An extent expression that cannot fold at compile time (fine for
+    block-local VLAs, fatal for file-scope arrays)."""
+
+
+def _fold_extent(expr: ast.Expr, n_pes: int) -> object:
+    """Constant-fold an array-extent expression for a known launch width.
+
+    Mirrors the launcher's symmetric-plan folding (``MAH FRENZ`` becomes
+    ``n_pes``; ``ME`` raises :class:`CompileError` because per-PE
+    symmetric extents would break the symmetric layout) so the C
+    backend admits exactly the extents the process executor admits.
+    Genuinely dynamic extents raise :class:`_NotConstant`.
+    """
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.FrenzExpr):
+        return n_pes
+    if isinstance(expr, ast.BinOp):
+        return binop(
+            expr.op,
+            _fold_extent(expr.lhs, n_pes),
+            _fold_extent(expr.rhs, n_pes),
+            expr.pos,
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return unop(expr.op, _fold_extent(expr.operand, n_pes), expr.pos)
+    if isinstance(expr, ast.MeExpr):
+        raise CompileError(
+            "symmetric array sizes cannot depend on ME (all PEs must "
+            "allocate identically)",
+            expr.pos,
+        )
+    raise _NotConstant
 
 
 def c_string(text: str) -> str:
@@ -129,8 +181,27 @@ def c_float(value: float) -> str:
 
 
 class CBackend:
-    def __init__(self, program: ast.Program, table: Optional[SymbolTable] = None):
+    """One-shot code generator: ``CBackend(program).generate()``.
+
+    ``n_pes`` optionally fixes the launch width at compile time so
+    symmetric array extents written in terms of ``MAH FRENZ`` fold to C
+    constants; leave it ``None`` for width-independent output (only
+    literal extents compile then).  Expression generation is the
+    ``gen_expr`` dispatch (returns ``(C expression, kind code)``),
+    statement generation the ``gen_stmt`` dispatch (appends to
+    ``body_lines``); both raise
+    :class:`~repro.compiler.symtab.CompileError` with a source position
+    for every interpret-only construct they meet.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        table: Optional[SymbolTable] = None,
+        n_pes: Optional[int] = None,
+    ):
         self.program = program
+        self.n_pes = n_pes
         self.table = table if table is not None else analyze(program)
         self.body_lines: list[str] = []
         self.file_lines: list[str] = []
@@ -159,6 +230,14 @@ class CBackend:
     # -- symbol classification ----------------------------------------------
 
     def _info(self, name: str, pos: SourcePos) -> SymbolInfo:
+        """Resolve ``name`` at the current emission point.
+
+        Resolution order matches the emitted C's scoping: innermost
+        block scope, then (inside a function) locals and parameters,
+        then file-scope/symmetric globals.  The failure diagnostic
+        spells out the C backend's function restriction because that is
+        where interpreter-legal programs most often trip it.
+        """
         for scope in reversed(self._scopes):
             if name in scope:
                 return scope[name]
@@ -196,7 +275,15 @@ class CBackend:
     # -- expressions -----------------------------------------------------------
 
     def gen_expr(self, node: ast.Expr) -> tuple[str, str]:
-        """Return (C expression, kind code)."""
+        """Compile one expression; returns ``(C expression, kind code)``.
+
+        The kind code is the scalar classification from ``_KIND_OF_TYPE``
+        (``i``/``f``/``s``/``b`` for statically typed values, ``d`` for a
+        dynamic ``lol_value_t``); callers coerce with :func:`conv`.
+        Dispatches over every AST expression class; the only
+        interpret-only expression is ``SRS`` (computed identifiers),
+        diagnosed here as a :class:`CompileError`.
+        """
         if isinstance(node, ast.IntLit):
             return f"{node.value}LL", "i"
         if isinstance(node, ast.FloatLit):
@@ -423,6 +510,11 @@ class CBackend:
     # -- statements ---------------------------------------------------------------
 
     def gen_block(self, body: list[ast.Stmt]) -> None:
+        """Compile a statement list inside a fresh lexical scope.
+
+        Mirrors the C block scoping of the emitted code: declarations
+        made in the block shadow outer ones and vanish when it closes.
+        """
         saved_top = self._at_top
         self._at_top = False
         self._scopes.append({})
@@ -434,6 +526,14 @@ class CBackend:
             self._at_top = saved_top
 
     def gen_stmt(self, stmt: ast.Stmt) -> None:
+        """Compile one statement into ``body_lines``.
+
+        Dispatches over every AST statement class.  Restriction
+        diagnostics raised from here (and from the ``_gen_*`` helpers
+        it fans out to) carry the statement's source position, so
+        ``lcc``/``lolcc`` point at the offending LOLCODE line rather
+        than at generated C.
+        """
         if isinstance(stmt, ast.VarDecl):
             self._gen_decl(stmt)
         elif isinstance(stmt, ast.Assign):
@@ -513,9 +613,43 @@ class CBackend:
 
     # -- declarations ----------------------------------------------------------
 
-    def _const_size(self, expr: ast.Expr, name: str) -> Optional[int]:
+    def _const_size(
+        self, expr: ast.Expr, name: str, *, file_scope: bool = False
+    ) -> Optional[int]:
+        """Fold an array extent to a C constant, or ``None`` if dynamic.
+
+        Integer literals always fold; with a fixed launch width
+        (``self.n_pes``) any ``MAH FRENZ`` arithmetic folds too.
+        Extents that fold to a non-integral value are rejected through
+        the same :func:`~repro.lang.types.to_array_size` guard every
+        engine's allocation path uses.  ``file_scope`` propagates
+        semantic folding errors (``ME``-dependent symmetric extents);
+        block-local callers fall back to the VLA path instead.
+        """
         if isinstance(expr, ast.IntLit):
             return expr.value
+        if self.n_pes is not None:
+            try:
+                value = _fold_extent(expr, self.n_pes)
+            except CompileError:
+                if file_scope:
+                    raise
+                return None
+            except (_NotConstant, LolError):
+                # Genuinely dynamic extent: legal for block-local arrays
+                # (emitted as a VLA); file-scope declarations reject the
+                # None in emit_file_scope_decl.
+                return None
+            size = to_array_size(value, expr.pos)
+            if size < 1:
+                # C has no zero/negative-length arrays; diagnose here
+                # rather than letting cc reject the emitted unit.
+                raise CompileError(
+                    f"array '{name}': extent folds to {size}, but the C "
+                    f"backend needs at least 1 element",
+                    expr.pos,
+                )
+            return size
         return None
 
     def _decl_c(self, info: SymbolInfo, size_code: Optional[str]) -> str:
@@ -526,6 +660,14 @@ class CBackend:
         return f"{base} {info.name}"
 
     def emit_file_scope_decl(self, decl: ast.VarDecl) -> None:
+        """Emit the file-scope C object for one top-level declaration.
+
+        Symmetric objects (``WE HAS A``) are tagged ``LOL_SYMMETRIC`` so
+        the bundled shim can place them in its remappable section;
+        ``AN IM SHARIN IT`` additionally emits the symbol's lock word.
+        Initialisers are *not* handled here — ``_gen_decl`` runs them at
+        the declaration's original program point in ``main``.
+        """
         info = (
             self.table.globals[decl.name]
             if decl.name in self.table.globals
@@ -534,23 +676,28 @@ class CBackend:
         assert info is not None
         size_code: Optional[str] = None
         if info.is_array:
-            size = self._const_size(decl.size, decl.name)
+            size = self._const_size(decl.size, decl.name, file_scope=True)
             if size is None:
                 raise CompileError(
-                    f"file-scope array '{decl.name}' needs a literal size "
-                    f"for the C backend",
+                    f"file-scope array '{decl.name}' needs a compile-time "
+                    f"size for the C backend (an integer literal, or MAH "
+                    f"FRENZ arithmetic when compiling for a known launch "
+                    f"width)",
                     decl.pos,
                 )
             size_code = str(size)
         qual = "static "
+        attr = " LOL_SYMMETRIC" if info.symmetric else ""
         comment = " /* symmetric */" if info.symmetric else ""
         self.file_lines.append(
-            f"{qual}{self._decl_c(info, size_code)};{comment}"
+            f"{qual}{self._decl_c(info, size_code)}{attr};{comment}"
         )
         if info.shared_lock:
             # The (void) cast in main keeps -Wunused-variable quiet when a
             # program declares IM SHARIN IT but never takes the lock.
-            self.file_lines.append(f"static long __lock_{info.name} = 0L;")
+            self.file_lines.append(
+                f"static long __lock_{info.name} LOL_SYMMETRIC = 0L;"
+            )
             self._lock_names.append(info.name)
         self._emitted_globals.add(info.name)
 
@@ -821,6 +968,7 @@ class CBackend:
         return lines
 
     def generate(self) -> str:
+        """Emit the complete self-contained C translation unit."""
         # 1. file-scope data for every top-level declaration
         for stmt in self.program.body:
             if isinstance(stmt, ast.VarDecl):
@@ -841,7 +989,7 @@ class CBackend:
         self.indent = 1
         self.out("shmem_init();")
         if self.table.uses_random:
-            self.out("srand(1234u + (unsigned)shmem_my_pe());")
+            self.out("srand(lol_seed(1234u) + (unsigned)shmem_my_pe());")
         self.out("lol_value_t __it = lol_noob();")
         # Reference every file-scope object once so -Wunused-variable stays
         # quiet for symbols a program declares but never touches.
@@ -878,11 +1026,22 @@ class CBackend:
         return "\n".join(parts) + "\n"
 
 
-def compile_c(source_or_program, filename: str = "<string>") -> str:
-    """Compile LOLCODE source to a C + OpenSHMEM translation unit."""
+def compile_c(
+    source_or_program,
+    filename: str = "<string>",
+    *,
+    n_pes: Optional[int] = None,
+) -> str:
+    """Compile LOLCODE source to a C + OpenSHMEM translation unit.
+
+    With ``n_pes`` the launch width is fixed at compile time: symmetric
+    array extents written as ``MAH FRENZ`` arithmetic fold to constants
+    (the output is then specific to that width — the native build cache
+    keys on the folded C text, so each width gets its own binary).
+    """
     program = (
         source_or_program
         if isinstance(source_or_program, ast.Program)
         else parse(source_or_program, filename)
     )
-    return CBackend(program).generate()
+    return CBackend(program, n_pes=n_pes).generate()

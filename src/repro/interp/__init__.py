@@ -11,10 +11,13 @@ other (and against the compiled-Python backend):
   (:mod:`repro.interp.interpreter`), also the only engine supporting
   ``max_steps`` execution limits.
 
-(The third registered engine, ``"compiled"``, is not an interpreter at
-all: it is the LOLCODE -> Python source-to-source backend in
+(The other registered engines are not interpreters at all:
+``"compiled"`` is the LOLCODE -> Python source-to-source backend in
 :mod:`repro.compiler.py_backend`, sharing the same operator kernels and
-the same differential test matrix.)
+the same differential test matrix; ``"c"`` is the paper's full ``lcc``
+pipeline — LOLCODE -> C + OpenSHMEM, built by the system C compiler
+against the bundled single-node SHMEM shim and run as real OS processes
+by :mod:`repro.compiler.native`.)
 
 :func:`compile_closures_cached` is the process-wide LRU compiled-program
 cache, keyed by source text: an SPMD launch compiles once and every PE
@@ -42,10 +45,12 @@ from .values import (
 
 #: Execution engines accepted by ``run_lolcode`` / the CLIs.  The first
 #: two live in this package; ``"compiled"`` is the source-to-source
-#: Python backend (:mod:`repro.compiler.py_backend`) — the paper's
-#: ``lcc`` deployment path — dispatched per PE by the launcher through
-#: :func:`repro.compiler.compile_python_cached`.
-ENGINES = ("closure", "ast", "compiled")
+#: Python backend (:mod:`repro.compiler.py_backend`) dispatched per PE
+#: by the launcher through :func:`repro.compiler.compile_python_cached`;
+#: ``"c"`` is the native path (:mod:`repro.compiler.native`): the C
+#: backend's output built with the system compiler and launched as
+#: ``n_pes`` OS processes over the bundled SHMEM shim.
+ENGINES = ("closure", "ast", "compiled", "c")
 
 
 @single_flight

@@ -14,6 +14,14 @@
 * ``"serial"`` — requires ``n_pes == 1``; runs inline (the behaviour of a
   plain LOLCODE interpreter, ``loli``).
 
+``engine="c"`` (the natively compiled path) is special: its PEs are
+always real OS processes built and launched by
+:mod:`repro.compiler.native`, so it pairs only with
+``executor="process"`` (or ``"serial"`` at one PE) and refuses the
+interpreter-only knobs — ``max_steps``, op tracing, race detection —
+with explicit errors rather than silently falling back to a different
+engine.
+
 The process executor needs the symmetric allocation set before workers
 start, so :func:`plan_from_program` statically scans the AST for
 ``WE HAS A`` declarations and constant-folds their sizes (``MAH FRENZ``
@@ -152,12 +160,18 @@ def run_lolcode(
     ``engine`` selects the execution engine per PE: ``"closure"``
     (default — compile once per program into zero-dispatch closures,
     shared by all PEs), ``"ast"`` (the reference tree-walker; also used
-    automatically whenever ``max_steps`` is requested), or ``"compiled"``
-    (the paper's ``lcc`` deployment path — LOLCODE is compiled to a
-    Python ``pe_main`` module and launched; rejects interpret-only
-    constructs such as ``SRS`` computed identifiers with a
-    :class:`~repro.compiler.CompileError`, and refuses ``max_steps``
-    outright rather than silently reinterpreting).
+    automatically whenever ``max_steps`` is requested), ``"compiled"``
+    (LOLCODE compiled to a Python ``pe_main`` module and launched;
+    rejects interpret-only constructs such as ``SRS`` computed
+    identifiers with a :class:`~repro.compiler.CompileError`, and
+    refuses ``max_steps`` outright rather than silently
+    reinterpreting), or ``"c"`` (the paper's full ``lcc`` pipeline:
+    LOLCODE -> C + OpenSHMEM, built by the system C compiler against
+    the bundled SHMEM shim, one OS process per PE; pairs with
+    ``executor="process"`` only and additionally refuses ``trace`` and
+    ``race_detection``; raises
+    :class:`~repro.compiler.NativeToolchainError` when the host has no
+    C compiler).
     """
     if executor not in EXECUTORS:
         raise LolParallelError(
@@ -169,6 +183,47 @@ def run_lolcode(
         )
     # Surface syntax errors in the caller (cached: benches re-run sources).
     program = parse_cached(source, filename)
+    if engine == "c":
+        # The native engine has exactly one execution vehicle: OS
+        # processes running the binary the system C compiler produced.
+        # Every knob it cannot honour is refused loudly — a silent
+        # fallback to an interpreter would misreport what ran.
+        if executor not in ("process", "serial"):
+            raise LolParallelError(
+                f"engine='c' runs PEs as native OS processes; use "
+                f"executor='process' (got {executor!r})"
+            )
+        if executor == "serial" and n_pes != 1:
+            raise LolParallelError(
+                f"serial executor runs exactly 1 PE, got {n_pes}"
+            )
+        if max_steps is not None:
+            raise LolParallelError(
+                "engine='c' does not support max_steps; use engine='ast' "
+                "(the step-counting tree-walker)"
+            )
+        if trace:
+            raise LolParallelError(
+                "engine='c' does not support op tracing (native binaries "
+                "are not instrumented); use engine='closure' or "
+                "'compiled' for traced runs"
+            )
+        if race_detection:
+            raise LolParallelError(
+                "race detection requires the thread executor"
+            )
+        # Compile restrictions (CompileError) and a missing C toolchain
+        # (NativeToolchainError) both surface here, in the caller.
+        from ..compiler.native import run_native_source
+
+        return run_native_source(
+            source,
+            n_pes,
+            filename=filename,
+            seed=seed,
+            stdin_lines=stdin_lines,
+            barrier_timeout=barrier_timeout,
+        )
     if engine == "compiled":
         if max_steps is not None:
             # The closure engine's documented max_steps fallback to the

@@ -68,6 +68,11 @@ class JobSpec:
         ``workload`` name (plus ``params`` overrides); a workload job
         gets its source generated here and its checker run on the
         result, exactly like a ``lolbench`` sweep cell.
+
+        ``engine="c"`` jobs may be submitted with the default ``"pool"``
+        executor; they resolve to ``"process"`` (native PEs are always
+        OS processes) while keeping warm-job economics through the
+        native build cache, and they refuse ``trace``.
         """
         from ..launcher import ENGINES, EXECUTORS
 
@@ -99,6 +104,28 @@ class JobSpec:
             raise ServiceError(
                 f"unknown executor {executor!r} (choose from {EXECUTORS})"
             )
+        if engine == "c":
+            # Native jobs always execute as OS processes — the warm
+            # pool's Python workers cannot host a native binary, so a
+            # pool submission (including the default) resolves to the
+            # process executor here and bypasses the scheduler's pool
+            # gate.  Warm-job economics survive anyway: the on-disk
+            # build cache reuses one binary across every job with the
+            # same (source, n_pes).
+            if payload.get("trace"):
+                raise ServiceError(
+                    "engine 'c' does not support op tracing; submit with "
+                    "engine 'closure' or 'compiled' for traced runs"
+                )
+            if executor == "pool":
+                executor = "process"
+            elif executor not in ("process", "serial"):
+                # Same loud-early refusal as trace: don't accept a job
+                # that can only fail later inside a worker.
+                raise ServiceError(
+                    f"engine 'c' runs PEs as native OS processes; "
+                    f"submit with executor 'process' (got {executor!r})"
+                )
         n_pes = payload.get("n_pes", 1)
         if not isinstance(n_pes, int) or n_pes < 1:
             raise ServiceError(f"n_pes must be a positive integer, got {n_pes!r}")

@@ -6,20 +6,17 @@ embedded ``-DLOL_SHMEM_SIM`` single-PE OpenSHMEM simulation and diffs
 their stdout against the interpreter.
 """
 
-import shutil
 import subprocess
-import sys
 
 import pytest
 
 from repro.compiler import CompileError, compile_c
+from repro.compiler.native import find_cc
 from repro.interp import run_serial
 
 from .conftest import lol
 
-GCC = shutil.which("gcc") or shutil.which("cc")
-
-needs_gcc = pytest.mark.skipif(GCC is None, reason="no C compiler available")
+GCC = find_cc()
 
 
 def build_and_run(tmp_path, source: str, stdin: str = "") -> str:
@@ -70,13 +67,20 @@ class TestEmittedStructure:
 
     def test_symmetric_scalar_is_file_scope_static(self):
         c = compile_c(lol("WE HAS A x ITZ SRSLY A NUMBR"))
-        assert "static long long x; /* symmetric */" in c
+        assert "static long long x LOL_SYMMETRIC; /* symmetric */" in c
 
     def test_symmetric_array(self):
         c = compile_c(
             lol("WE HAS A p ITZ SRSLY LOTZ A NUMBARS AN THAR IZ 32")
         )
-        assert "static double p[32]; /* symmetric */" in c
+        assert "static double p[32] LOL_SYMMETRIC; /* symmetric */" in c
+
+    def test_top_level_private_data_is_not_symmetric(self):
+        # I HAS A at top level is file-scope (reachable from functions)
+        # but per-PE private: it must NOT be placed in the shim section.
+        c = compile_c(lol("I HAS A g ITZ 5\nVISIBLE g"))
+        assert "static lol_value_t g;" in c
+        assert "static lol_value_t g LOL_SYMMETRIC" not in c
 
     def test_sharin_it_emits_lock_object(self):
         c = compile_c(
@@ -85,7 +89,7 @@ class TestEmittedStructure:
                 "IM SRSLY MESIN WIF x\nDUN MESIN WIF x"
             )
         )
-        assert "static long __lock_x = 0L;" in c
+        assert "static long __lock_x LOL_SYMMETRIC = 0L;" in c
         assert "shmem_set_lock(&__lock_x);" in c
         assert "shmem_clear_lock(&__lock_x);" in c
 
@@ -145,6 +149,33 @@ class TestEmittedStructure:
                 )
             )
 
+    def test_frenz_size_folds_for_known_launch_width(self):
+        # The same declaration compiles once the launch width is fixed —
+        # this is what lets registry kernels sized THAR IZ MAH FRENZ run
+        # under engine="c".
+        c = compile_c(
+            lol("WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ MAH FRENZ"),
+            n_pes=8,
+        )
+        assert "static long long a[8] LOL_SYMMETRIC; /* symmetric */" in c
+
+    def test_frenz_arithmetic_folds(self):
+        c = compile_c(
+            lol(
+                "WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ "
+                "PRODUKT OF MAH FRENZ AN 2"
+            ),
+            n_pes=3,
+        )
+        assert "static long long a[6] LOL_SYMMETRIC; /* symmetric */" in c
+
+    def test_me_dependent_size_rejected_even_with_width(self):
+        with pytest.raises(CompileError, match="ME"):
+            compile_c(
+                lol("WE HAS A a ITZ SRSLY LOTZ A NUMBRS AN THAR IZ ME"),
+                n_pes=4,
+            )
+
     def test_ur_outside_txt_rejected(self):
         with pytest.raises(CompileError):
             compile_c(lol("WE HAS A x ITZ SRSLY A NUMBR\nVISIBLE UR x"))
@@ -161,7 +192,7 @@ class TestEmittedStructure:
         assert "static lol_value_t lol_fn_f(void)" in c
 
 
-@needs_gcc
+@pytest.mark.requires_cc
 class TestCompileAndRunSerial:
     """End-to-end: emit C, build with gcc -Werror, run, diff vs interpreter."""
 

@@ -1,17 +1,29 @@
-"""Differential tests: closure engine vs tree-walker vs compiled backend.
+"""Differential tests: every engine against the reference tree-walker.
 
 The closure-compilation engine must be observationally identical to the
 reference tree-walker (and, where the program is compilable, to the
-compiled-Python backend) — same VISIBLE output per PE, same FLOP/op
-accounting, same RNG draw sequence.  This suite checks that property on
+compiled-Python backend and the native C engine) — same VISIBLE output
+per PE, same FLOP/op accounting, same RNG draw sequence.  This suite
+checks that property on
 
 * every bundled paper example at 1/2/4 PEs,
-* every workload in the registry, three-way at 1 and 4 PEs on the
-  thread and process executors (compile-time-restricted workloads must
-  be *explicitly* skipped, never silently dropped),
+* every workload in the registry, full-matrix at 1 and 4 PEs on the
+  thread executor — including ``engine="c"`` when a host C compiler
+  exists (compile-time-restricted workloads and toolchain-less hosts
+  must be *explicitly* skipped, never silently dropped),
+* the same registry on the process and pool executors (Python engines
+  only there: the native engine has exactly one execution vehicle —
+  OS processes — so re-running it per Python executor re-tests the
+  identical code path),
 * randomized arithmetic/loop/predication programs (seeded, so failures
   reproduce),
 * the ``HUGZ`` barrier and ``IM SRSLY MESIN WIF`` lock paths at 4 PEs.
+
+Native caveat: the C binary draws ``WHATEVR`` values from rand(), not
+the interpreters' seeded Mersenne Twister, so RNG-using kernels run
+under the native engine (checker-style validation still applies in the
+bench) but are excluded from bit-identical comparison here via
+:func:`repro.compiler.native.uses_random`.
 """
 
 import random
@@ -20,6 +32,7 @@ import pytest
 
 from repro import run_lolcode
 from repro.compiler import CompileError
+from repro.compiler.native import find_cc, uses_random
 from repro.launcher import ENGINES
 from repro.workloads import all_workloads
 
@@ -80,35 +93,72 @@ class TestPaperExamples:
 # ---------------------------------------------------------------------------
 
 
-def _three_way_outputs(src: str, n_pes: int, executor: str, seed: int):
-    """Run all three engines; returns ({engine: outputs}, restriction).
+def _engine_outputs(
+    src: str, n_pes: int, executor: str, seed: int, *, native: bool = False
+):
+    """Run the engine matrix; returns ``({engine: outputs}, skips)``.
 
-    A compiled-engine ``CompileError`` is a *documented* restriction
+    A compiler-backend ``CompileError`` is a *documented* restriction
     (SRS computed identifiers, nested/symmetric declarations in
-    functions); it is returned as ``restriction`` so the caller can
-    still assert closure-vs-ast agreement before skipping the compiled
-    comparison — any other engine raising is a real failure.
+    functions); it is recorded in ``skips`` so the caller can still
+    assert interpreter agreement before skip-reporting the missing
+    comparison — an *interpreter* engine raising is a real failure.
+    ``native=True`` additionally runs ``engine="c"`` (always on the
+    process executor — native PEs are OS processes) when a host C
+    compiler exists; without one the engine lands in ``skips``.
     """
     outputs = {}
-    restriction = None
+    skips = {}
     kwargs = {"executor": executor, "seed": seed}
     if executor == "process":
         kwargs["barrier_timeout"] = 120
     for engine in ENGINES:
+        ekw = dict(kwargs)
+        if engine == "c":
+            if not native:
+                continue
+            if find_cc() is None:
+                skips[engine] = "no C compiler on host"
+                continue
+            ekw["executor"] = "process"
+            ekw["barrier_timeout"] = 120
         try:
-            outputs[engine] = run_lolcode(src, n_pes, engine=engine, **kwargs).outputs
+            outputs[engine] = run_lolcode(src, n_pes, engine=engine, **ekw).outputs
         except CompileError as exc:
-            assert engine == "compiled", (
+            assert engine in ("compiled", "c"), (
                 f"interpreter engine {engine!r} raised CompileError: {exc}"
             )
-            restriction = f"compiled-engine restriction: {exc}"
-    return outputs, restriction
+            skips[engine] = f"{engine}-engine restriction: {exc}"
+    return outputs, skips
+
+
+def _assert_registry_agreement(workload, src, outputs, skips, n_pes, where):
+    """Shared assertion block for the registry matrix tests."""
+    if not workload.deterministic and n_pes > 1:
+        return  # engines ran; outputs legitimately vary (racy kernel)
+    assert outputs["ast"] == outputs["closure"], (
+        f"{workload.name}: closure diverged from tree-walker at {n_pes} "
+        f"PEs {where}"
+    )
+    if "compiled" in outputs:
+        assert outputs["compiled"] == outputs["ast"], (
+            f"{workload.name}: compiled diverged from tree-walker at "
+            f"{n_pes} PEs {where}"
+        )
+    if "c" in outputs and not uses_random(src):
+        assert outputs["c"] == outputs["ast"], (
+            f"{workload.name}: native engine diverged from tree-walker "
+            f"at {n_pes} PEs {where}"
+        )
+    if skips:
+        pytest.skip("; ".join(f"{e}: {r}" for e, r in sorted(skips.items())))
 
 
 @pytest.mark.workload
-class TestWorkloadRegistryThreeWay:
+class TestWorkloadRegistryMatrix:
     """Every registered workload runs bit-identically on closure, ast,
-    and compiled (or is skipped with an explicit compile-restriction
+    compiled, and — where a C toolchain exists and the kernel draws no
+    random values — the native C engine (or is skipped with an explicit
     reason) — the same guarantee ``lolbench`` enforces per sweep cell."""
 
     @pytest.mark.parametrize("n_pes", [1, 4])
@@ -120,17 +170,10 @@ class TestWorkloadRegistryThreeWay:
         if n_pes < w.min_pes:
             pytest.skip(f"{workload} needs >= {w.min_pes} PEs")
         src = w.source(smoke=True)
-        outputs, restriction = _three_way_outputs(src, n_pes, "thread", seed=42)
-        if not w.deterministic and n_pes > 1:
-            return  # engines ran; outputs legitimately vary (racy kernel)
-        assert outputs["ast"] == outputs["closure"], (
-            f"{workload}: closure diverged from tree-walker at {n_pes} PEs"
+        outputs, skips = _engine_outputs(
+            src, n_pes, "thread", seed=42, native=True
         )
-        if restriction:
-            pytest.skip(restriction)
-        assert outputs["ast"] == outputs["compiled"], (
-            f"{workload}: compiled diverged from tree-walker at {n_pes} PEs"
-        )
+        _assert_registry_agreement(w, src, outputs, skips, n_pes, "")
 
     @pytest.mark.procs
     @pytest.mark.slow
@@ -143,16 +186,9 @@ class TestWorkloadRegistryThreeWay:
         if n_pes < w.min_pes:
             pytest.skip(f"{workload} needs >= {w.min_pes} PEs")
         src = w.source(smoke=True)
-        outputs, restriction = _three_way_outputs(src, n_pes, "process", seed=42)
-        if not w.deterministic and n_pes > 1:
-            return
-        assert outputs["ast"] == outputs["closure"], (
-            f"{workload}: closure diverged from tree-walker at {n_pes} PEs"
-        )
-        if restriction:
-            pytest.skip(restriction)
-        assert outputs["ast"] == outputs["compiled"], (
-            f"{workload}: compiled diverged from tree-walker at {n_pes} PEs"
+        outputs, skips = _engine_outputs(src, n_pes, "process", seed=42)
+        _assert_registry_agreement(
+            w, src, outputs, skips, n_pes, "on the process executor"
         )
 
     @pytest.mark.procs
@@ -161,35 +197,27 @@ class TestWorkloadRegistryThreeWay:
     @pytest.mark.parametrize("workload", WORKLOAD_NAMES)
     def test_pool_executor(self, workload, n_pes):
         """The warm worker pool must be observationally identical to the
-        other executors on every registered workload: three-way engine
-        agreement *within* the pool, and pool-vs-thread agreement for
-        the reference engine.  (Not marked slow: the pool's whole point
-        is that repeated jobs cost milliseconds.)"""
+        other executors on every registered workload: engine agreement
+        *within* the pool, and pool-vs-thread agreement for the
+        reference engine.  (Not marked slow: the pool's whole point is
+        that repeated jobs cost milliseconds.)"""
         from repro.workloads import get_workload
 
         w = get_workload(workload)
         if n_pes < w.min_pes:
             pytest.skip(f"{workload} needs >= {w.min_pes} PEs")
         src = w.source(smoke=True)
-        outputs, restriction = _three_way_outputs(src, n_pes, "pool", seed=42)
-        if not w.deterministic and n_pes > 1:
-            return
-        assert outputs["ast"] == outputs["closure"], (
-            f"{workload}: closure diverged from tree-walker at {n_pes} PEs "
-            f"on the pool executor"
-        )
-        threaded = run_lolcode(
-            src, n_pes, engine="ast", executor="thread", seed=42
-        ).outputs
-        assert outputs["ast"] == threaded, (
-            f"{workload}: pool executor diverged from thread executor "
-            f"at {n_pes} PEs"
-        )
-        if restriction:
-            pytest.skip(restriction)
-        assert outputs["ast"] == outputs["compiled"], (
-            f"{workload}: compiled diverged from tree-walker at {n_pes} PEs "
-            f"on the pool executor"
+        outputs, skips = _engine_outputs(src, n_pes, "pool", seed=42)
+        if w.deterministic or n_pes == 1:
+            threaded = run_lolcode(
+                src, n_pes, engine="ast", executor="thread", seed=42
+            ).outputs
+            assert outputs["ast"] == threaded, (
+                f"{workload}: pool executor diverged from thread executor "
+                f"at {n_pes} PEs"
+            )
+        _assert_registry_agreement(
+            w, src, outputs, skips, n_pes, "on the pool executor"
         )
 
 

@@ -1,0 +1,65 @@
+"""Golden-file snapshots of the C backend's output.
+
+Three representative registry kernels (ring shift, heat1d stencil,
+tree_reduce) are compiled at a fixed launch width and diffed against
+checked-in snapshots under ``tests/golden/``.  Fresh-name counters
+(``__tmpN``/``__swN``/``__mN``/``__nN``) are normalised so unrelated
+codegen churn does not invalidate the files; everything else —
+prelude, symmetric declarations, shmem call shapes, control flow — is
+pinned byte-for-byte.
+
+An intentional codegen change regenerates the snapshots with::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_c.py
+
+and the diff is then reviewed like any other source change.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+
+import pytest
+
+from repro.compiler import compile_c
+from repro.workloads import get_workload
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: (workload, n_pes) per snapshot; smoke params keep the sources small.
+SNAPSHOTS = [
+    ("ring", 4),
+    ("heat1d", 4),
+    ("tree_reduce", 4),
+]
+
+_FRESH = re.compile(r"__(tmp|sw|m|n)\d+\b")
+
+
+def normalize(c_source: str) -> str:
+    """Make emitted C stable under fresh-name counter shifts."""
+    return _FRESH.sub(lambda m: f"__{m.group(1)}N", c_source)
+
+
+@pytest.mark.parametrize("workload, n_pes", SNAPSHOTS)
+def test_emitted_c_matches_golden(workload, n_pes):
+    w = get_workload(workload)
+    source = w.source(smoke=True)
+    emitted = normalize(
+        compile_c(source, f"<workload:{workload}>", n_pes=n_pes)
+    )
+    golden_path = GOLDEN_DIR / f"{workload}_np{n_pes}.c"
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(emitted)
+        pytest.skip(f"regenerated {golden_path.name}")
+    assert golden_path.exists(), (
+        f"missing snapshot {golden_path}; regenerate with UPDATE_GOLDEN=1"
+    )
+    assert emitted == golden_path.read_text(), (
+        f"emitted C for {workload!r} drifted from its snapshot; if the "
+        f"change is intentional, regenerate with UPDATE_GOLDEN=1 and "
+        f"review the diff"
+    )

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for ``[text](target)`` links, resolves
+relative targets against the file's directory, and exits non-zero
+listing any target that does not exist.  External schemes
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``) are
+ignored; a ``path#anchor`` link is checked for the path only (anchor
+validity is the document's own business).
+
+CI runs this in the docs job; locally::
+
+    python tools/check_md_links.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Directories never scanned (generated/vendored content).
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".claude", "node_modules"}
+
+#: [text](target) with an optional title; images share the syntax.
+LINK = re.compile(r"\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files() -> list[pathlib.Path]:
+    out = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(REPO_ROOT).parts):
+            continue
+        out.append(path)
+    return out
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (path.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                    f"broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    files = md_files()
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken intra-repo markdown link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"checked {len(files)} markdown files: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
