@@ -24,9 +24,11 @@
 from .c_backend import CBackend, compile_c
 from .native import (
     NativeBuildError,
+    NativeBuildTransientError,
     NativeToolchainError,
     build_native,
     find_cc,
+    native_stats,
     run_native,
     run_native_source,
 )
@@ -44,9 +46,11 @@ __all__ = [
     "CBackend",
     "compile_c",
     "NativeBuildError",
+    "NativeBuildTransientError",
     "NativeToolchainError",
     "build_native",
     "find_cc",
+    "native_stats",
     "run_native",
     "run_native_source",
     "PyBackend",

@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
 from typing import Optional, Sequence
 
+from ..faults import inject
 from ..lang.errors import LolError, LolParallelError
 from ..lang.parser import parse_cached
 from ..shmem.api import DEFAULT_BARRIER_TIMEOUT
@@ -71,6 +72,39 @@ _build_flight = SingleFlight()
 _BUILD_MEMO: dict[tuple, pathlib.Path] = {}
 _BUILD_MEMO_LOCK = threading.Lock()
 _BUILD_MEMO_MAX = 256
+
+#: Extra cc attempts after a *transient* failure (a compiler killed by a
+#: signal — OOM kill, interrupted — or an injected ``native.build``
+#: fault).  A compiler that runs and *rejects* the C is never retried.
+DEFAULT_BUILD_RETRIES = 2
+
+#: Observability counters for the build/cache plane, surfaced through
+#: ``lolserve stats`` (``native``) next to the pool's respawn counters.
+_STATS_LOCK = threading.Lock()
+_STATS = {
+    "builds": 0,
+    "cache_hits": 0,
+    "corrupt_rebuilds": 0,
+    "transient_retries": 0,
+}
+
+
+def _bump(key: str) -> None:
+    with _STATS_LOCK:
+        _STATS[key] += 1
+
+
+def native_stats() -> dict:
+    """Snapshot of the native build/cache counters."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_native_stats() -> None:
+    """Zero the counters (test isolation)."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
 
 
 @lru_cache(maxsize=1)
@@ -101,6 +135,19 @@ class NativeBuildError(LolError):
     """
 
 
+class NativeBuildTransientError(NativeBuildError):
+    """The toolchain failed in a way a fresh attempt may survive.
+
+    Raised only when the in-module retry budget
+    (:data:`DEFAULT_BUILD_RETRIES`, override ``$LOL_BUILD_RETRIES``) is
+    exhausted: a cc killed by a signal, or an injected ``native.build``
+    fault.  Carries ``retryable = True`` so the scheduler's
+    :class:`~repro.faults.RetryPolicy` re-submits the job.
+    """
+
+    retryable = True
+
+
 def find_cc() -> Optional[str]:
     """Absolute path of the system C compiler, or ``None``.
 
@@ -125,6 +172,71 @@ def cache_dir() -> pathlib.Path:
     )
     base.mkdir(parents=True, exist_ok=True)
     return base
+
+
+def _checksum_path(binary: pathlib.Path) -> pathlib.Path:
+    return binary.parent / (binary.name + ".sha256")
+
+
+def _file_sha256(path: pathlib.Path) -> Optional[str]:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+def _verify_cached(binary: pathlib.Path) -> bool:
+    """Integrity-check an on-disk cached binary before warm reuse.
+
+    The cache *key* hashes the inputs (C text, shim, compiler, flags) —
+    it says nothing about the bytes actually sitting in the file, which
+    a truncated write, a disk error, or a meddling sibling process can
+    have corrupted.  So every build also records the binary's own
+    sha256 next to it; a mismatch (or a missing/unreadable checksum)
+    evicts the entry and reports ``False`` so the caller rebuilds —
+    a corrupt cache entry costs one silent rebuild, never an exec of a
+    bad binary.
+    """
+    expected = None
+    try:
+        expected = _checksum_path(binary).read_text().strip()
+    except OSError:
+        pass
+    if expected is not None and _file_sha256(binary) == expected:
+        return True
+    _bump("corrupt_rebuilds")
+    for stale in (binary, _checksum_path(binary)):
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    return False
+
+
+def _apply_cache_fault(binary: pathlib.Path, kind: str) -> None:
+    """Damage a cached binary in place (``native.cache`` injection).
+
+    Corruption happens to real cache files in the real cache directory,
+    so the verification path under test is exactly the production one.
+    """
+    try:
+        if kind == "truncate":
+            size = binary.stat().st_size
+            with open(binary, "r+b") as fh:
+                fh.truncate(max(1, size // 2))
+        elif kind == "corrupt":
+            size = binary.stat().st_size
+            with open(binary, "r+b") as fh:
+                fh.seek(size // 2)
+                span = fh.read(min(16, max(1, size - size // 2)))
+                # XOR, not overwrite-with-a-pattern: the region might
+                # already hold that pattern (ELF padding is zeros), and
+                # a "corruption" that leaves the bytes unchanged tests
+                # nothing.
+                fh.seek(size // 2)
+                fh.write(bytes(b ^ 0xFF for b in span))
+    except OSError:
+        pass
 
 
 def uses_random(source: str, filename: str = "<string>") -> bool:
@@ -168,7 +280,16 @@ def build_native(
     with _BUILD_MEMO_LOCK:
         hit = _BUILD_MEMO.get(memo_key)
     if hit is not None and hit.exists():
-        return hit
+        rule = inject("native.cache")
+        if rule is not None:
+            _apply_cache_fault(hit, rule.kind)
+        if _verify_cached(hit):
+            _bump("cache_hits")
+            return hit
+        # Corrupt/truncated on disk: drop the memo entry and fall
+        # through to a full (silent) rebuild.
+        with _BUILD_MEMO_LOCK:
+            _BUILD_MEMO.pop(memo_key, None)
     c_source = compile_c(source, filename, n_pes=n_pes)
     shim_header, shim_source = _shim_sources()
     digest = hashlib.sha256(
@@ -180,7 +301,14 @@ def build_native(
 
     def _build() -> pathlib.Path:
         if binary.exists():
-            return binary  # warm hit (possibly from a concurrent builder)
+            # Warm hit (possibly from a concurrent builder) — verified
+            # against its recorded checksum before reuse.
+            rule = inject("native.cache")
+            if rule is not None:
+                _apply_cache_fault(binary, rule.kind)
+            if _verify_cached(binary):
+                _bump("cache_hits")
+                return binary
         workdir = pathlib.Path(
             tempfile.mkdtemp(prefix="build-", dir=cache_dir())
         )
@@ -188,27 +316,62 @@ def build_native(
             tu = workdir / "program.c"
             tu.write_text(c_source)
             tmp_bin = workdir / "program"
-            proc = subprocess.run(
-                [
-                    cc,
-                    *CFLAGS,
-                    "-DLOL_SHMEM_SHIM",
-                    f"-I{_SHIM_DIR}",
-                    str(tu),
-                    str(SHIM_SOURCE),
-                    "-o",
-                    str(tmp_bin),
-                    "-lm",
-                ],
-                capture_output=True,
-                text=True,
+            retries = int(
+                os.environ.get("LOL_BUILD_RETRIES", DEFAULT_BUILD_RETRIES)
             )
-            if proc.returncode != 0:
+            attempts = 1 + max(0, retries)
+            for attempt in range(1, attempts + 1):
+                rule = inject("native.build")
+                if rule is not None and rule.kind == "fail":
+                    # Injected transient toolchain failure (a cc OOM
+                    # kill, a flaky NFS cache dir, ...).
+                    if attempt < attempts:
+                        _bump("transient_retries")
+                        continue
+                    raise NativeBuildTransientError(
+                        f"injected fault at site 'native.build' exhausted "
+                        f"{attempts} build attempts"
+                    )
+                proc = subprocess.run(
+                    [
+                        cc,
+                        *CFLAGS,
+                        "-DLOL_SHMEM_SHIM",
+                        f"-I{_SHIM_DIR}",
+                        str(tu),
+                        str(SHIM_SOURCE),
+                        "-o",
+                        str(tmp_bin),
+                        "-lm",
+                    ],
+                    capture_output=True,
+                    text=True,
+                )
+                if proc.returncode == 0:
+                    break
+                if proc.returncode < 0:
+                    # Killed by a signal: environmental, not a verdict
+                    # on the generated C — retry within budget.
+                    if attempt < attempts:
+                        _bump("transient_retries")
+                        continue
+                    raise NativeBuildTransientError(
+                        f"{cc} was killed by signal {-proc.returncode} "
+                        f"on all {attempts} attempts:\n{proc.stderr.strip()}"
+                    )
                 raise NativeBuildError(
                     f"{cc} rejected the generated C "
                     f"(exit {proc.returncode}):\n{proc.stderr.strip()}"
                 )
+            # Record the binary's own checksum *before* publishing the
+            # binary: a reader that can see the binary can always see
+            # its checksum (the reverse orphan is harmlessly evicted).
+            digest = hashlib.sha256(tmp_bin.read_bytes()).hexdigest()
+            tmp_sum = workdir / "program.sha256"
+            tmp_sum.write_text(digest + "\n")
+            os.replace(tmp_sum, _checksum_path(binary))
             os.replace(tmp_bin, binary)  # atomic vs. concurrent builders
+            _bump("builds")
             return binary
         finally:
             shutil.rmtree(workdir, ignore_errors=True)

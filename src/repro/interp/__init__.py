@@ -17,7 +17,10 @@ other (and against the compiled-Python backend):
 the same differential test matrix; ``"c"`` is the paper's full ``lcc``
 pipeline — LOLCODE -> C + OpenSHMEM, built by the system C compiler
 against the bundled single-node SHMEM shim and run as real OS processes
-by :mod:`repro.compiler.native`.)
+by :mod:`repro.compiler.native`.  Engines needing host tooling can
+degrade gracefully: ``run_lolcode(..., fallback_engine="closure")``
+reruns on an interpreter when the native toolchain is missing or broken
+and marks the result ``degraded``.)
 
 :func:`compile_closures_cached` is the process-wide LRU compiled-program
 cache, keyed by source text: an SPMD launch compiles once and every PE

@@ -154,6 +154,7 @@ def run_lolcode(
     max_steps: Optional[int] = None,
     barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
     engine: str = "closure",
+    fallback_engine: Optional[str] = None,
 ) -> SpmdResult:
     """Parse ``source`` once (for early syntax errors) and run it SPMD.
 
@@ -172,6 +173,15 @@ def run_lolcode(
     ``race_detection``; raises
     :class:`~repro.compiler.NativeToolchainError` when the host has no
     C compiler).
+
+    ``fallback_engine`` opts into graceful degradation: if the requested
+    engine fails for an *environmental* reason — no C toolchain, or a
+    native build that keeps failing (:class:`~repro.compiler.NativeToolchainError`,
+    :class:`~repro.compiler.NativeBuildError`) — the run is retried once
+    on the fallback engine and the result is marked ``degraded`` with a
+    ``degraded_reason``.  Program errors (syntax, compile restrictions,
+    runtime faults) never trigger the fallback: those would fail the
+    same way — or worse, differently — on any engine.
     """
     if executor not in EXECUTORS:
         raise LolParallelError(
@@ -181,6 +191,45 @@ def run_lolcode(
         raise LolParallelError(
             f"unknown engine {engine!r} (choose from {ENGINES})"
         )
+    if fallback_engine is not None:
+        if fallback_engine not in ENGINES:
+            raise LolParallelError(
+                f"unknown fallback_engine {fallback_engine!r} "
+                f"(choose from {ENGINES})"
+            )
+        if fallback_engine == engine:
+            raise LolParallelError(
+                f"fallback_engine must differ from engine (both {engine!r})"
+            )
+        from ..compiler.native import NativeBuildError, NativeToolchainError
+
+        run = partial(
+            run_lolcode,
+            source,
+            n_pes,
+            executor=executor,
+            filename=filename,
+            seed=seed,
+            stdin_lines=stdin_lines,
+            trace=trace,
+            trace_detail=trace_detail,
+            race_detection=race_detection,
+            max_steps=max_steps,
+            barrier_timeout=barrier_timeout,
+        )
+        try:
+            return run(engine=engine)
+        except (NativeToolchainError, NativeBuildError) as exc:
+            # The native engine forces executor="process"; the fallback
+            # engines run under any executor, so the executor carries over.
+            result = run(engine=fallback_engine)
+            result.degraded = True
+            result.degraded_reason = (
+                f"engine {engine!r} unavailable "
+                f"({type(exc).__name__}: {str(exc)[:200]}); "
+                f"ran fallback engine {fallback_engine!r}"
+            )
+            return result
     # Surface syntax errors in the caller (cached: benches re-run sources).
     program = parse_cached(source, filename)
     if engine == "c":

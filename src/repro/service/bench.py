@@ -98,6 +98,7 @@ def run_service_bench(
 ) -> dict:
     """Run the full benchmark; returns the ``BENCH_service.json`` payload."""
     rows = []
+    service_stats: Optional[dict] = None
     with BackgroundServer(socket_path, max_concurrency=1) as bg:
         client = ServiceClient(bg.socket_path, timeout=job_timeout)
         client.ping()
@@ -125,6 +126,15 @@ def run_service_bench(
                     job_timeout=job_timeout,
                 )
             )
+        # Robustness counters for the whole run: a clean bench reports
+        # zero retries/shed/degraded, and a bench under an armed fault
+        # plan records what the service absorbed while still verifying
+        # every job.
+        stats = client.stats()
+        service_stats = {
+            key: stats.get(key)
+            for key in ("retries", "shed", "degraded", "native", "faults")
+        }
     payload = {
         "schema": SCHEMA_VERSION,
         "meta": {
@@ -138,6 +148,7 @@ def run_service_bench(
             "unix-socket service; latency = submit-to-result per job",
         },
         "rows": rows,
+        "service_stats": service_stats,
     }
     by_exec = {row["executor"]: row for row in rows}
     if "pool" in by_exec and "process" in by_exec:

@@ -8,6 +8,7 @@ Subcommands::
     lolserve status --socket /tmp/lolserve.sock job-1
     lolserve wait   --socket /tmp/lolserve.sock job-1
     lolserve cancel --socket /tmp/lolserve.sock job-1
+    lolserve stats  --socket /tmp/lolserve.sock
     lolserve bench  --jobs 50 --out BENCH_service.json
     lolserve smoke  --jobs 20
 
@@ -57,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=120.0,
         help="default per-job timeout in seconds (default 120)",
     )
+    serve_p.add_argument(
+        "--queue-depth", type=int, default=256, dest="queue_depth",
+        help="max queued jobs before submissions are shed with a "
+        "queue-full error (default 256)",
+    )
 
     submit_p = sub.add_parser("submit", help="submit a job")
     submit_p.add_argument(
@@ -82,6 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--timeout", type=float, default=None,
                           help="per-job timeout in seconds")
     submit_p.add_argument(
+        "--fallback-engine", default=None, dest="fallback_engine",
+        help="engine to degrade to if the requested engine is "
+        "unavailable (result is marked degraded)",
+    )
+    submit_p.add_argument(
+        "--max-attempts", type=int, default=None, dest="max_attempts",
+        help="override the scheduler's retry budget for this job",
+    )
+    submit_p.add_argument(
         "--wait", action="store_true",
         help="block until the job finishes and print its result",
     )
@@ -96,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--socket", default=DEFAULT_SOCKET)
         if name == "wait":
             p.add_argument("--timeout", type=float, default=None)
+
+    stats_p = sub.add_parser(
+        "stats", help="print server counters (queue, pool, retries, "
+        "shed, degraded, native cache, faults)",
+    )
+    stats_p.add_argument("--socket", default=DEFAULT_SOCKET)
 
     bench_p = sub.add_parser(
         "bench", help="throughput benchmark -> BENCH_service.json"
@@ -143,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.socket,
             max_concurrency=args.concurrency,
             default_timeout=args.timeout,
+            max_queue_depth=args.queue_depth,
         )
         return 0
 
@@ -175,6 +197,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     seed=args.seed,
                     trace=args.trace,
                     timeout=args.timeout,
+                    fallback_engine=args.fallback_engine,
+                    max_attempts=args.max_attempts,
                 )
             else:
                 if args.target == "-":
@@ -191,6 +215,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     trace=args.trace,
                     timeout=args.timeout,
                     filename=args.target,
+                    fallback_engine=args.fallback_engine,
+                    max_attempts=args.max_attempts,
                 )
             if args.wait:
                 print(json.dumps(client.wait(job_id), indent=2))
@@ -206,6 +232,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "cancel":
             cancelled = client.cancel(args.job_id)
             print("cancelled" if cancelled else "not cancellable (running or done)")
+            return 0
+        if args.command == "stats":
+            print(json.dumps(client.stats(), indent=2))
             return 0
     except ServiceError as exc:
         print(f"lolserve: {exc}", file=sys.stderr)

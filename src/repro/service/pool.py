@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import os
 import threading
 import time
 import traceback
@@ -53,6 +54,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..faults import InjectedFaultError, inject
 from ..lang.errors import LolParallelError
 from ..shmem.api import DEFAULT_BARRIER_TIMEOUT, ShmemContext
 from ..shmem.heap import SymmetricPlan
@@ -72,6 +74,30 @@ DEFAULT_MAX_LOCKS = 32
 
 #: Smallest segment size class (bytes) — tiny plans share one class.
 _MIN_SEGMENT = 4096
+
+
+class WorkerCrashError(LolParallelError):
+    """A worker process died (or corrupted its reply protocol) mid-job.
+
+    The pool has already rebuilt itself by the time this is raised, so a
+    fresh attempt runs against fresh workers — which is why it is the
+    canonical *retryable* pool failure
+    (:func:`repro.faults.is_retryable`): the job itself was never the
+    problem.
+    """
+
+    retryable = True
+
+
+class StragglerTimeoutError(LolParallelError):
+    """PE(s) went silent past the drain deadline and were replaced.
+
+    Deliberately **not** retryable by default: a straggler is just as
+    likely a program-level deadlock (which a retry would faithfully
+    reproduce, burning another timeout) as an infrastructure hiccup.
+    """
+
+    retryable = False
 
 
 def _size_class(nbytes: int) -> int:
@@ -163,7 +189,21 @@ def _pool_worker_main(index, conn, barriers, locks, epoch_value, atomic_lock):
                 trace=job.trace,
             )
             ret = job.pe_main(ctx)
-            conn.send(("ok", job.job_id, job.pe, ctx.output, ret, ctx.trace))
+            reply = ("ok", job.job_id, job.pe, ctx.output, ret, ctx.trace)
+            # Worker-side injection site: this process was spawned with
+            # the parent's environment, so an exported LOL_FAULTS plan
+            # armed it at import time.  Failing *here* — after the work,
+            # before the reply — exercises the parent's real recovery
+            # machinery (death detection, protocol hardening, respawn).
+            rule = inject("pool.reply", rank=job.pe, job=job.job_id)
+            if rule is not None:
+                if rule.kind == "kill":
+                    os._exit(113)
+                elif rule.kind == "delay":
+                    time.sleep(rule.delay_s)
+                elif rule.kind == "garbage":
+                    reply = ("garbage", b"\xfe\xed\xfa\xce")
+            conn.send(reply)
         except BaseException as exc:  # noqa: BLE001 - marshalled to parent
             # Abort *before* replying: the parent resets the barrier for
             # the next job once every PE has replied, so an abort landing
@@ -254,6 +294,9 @@ class WorkerPool:
     # -- worker lifecycle ---------------------------------------------------
 
     def _spawn(self, index: int) -> _Worker:
+        rule = inject("pool.worker_spawn", rank=index)
+        if rule is not None and rule.kind == "fail":
+            raise InjectedFaultError(rule)
         parent_conn, child_conn = self._mpctx.Pipe(duplex=True)
         process = self._mpctx.Process(
             target=_pool_worker_main,
@@ -416,6 +459,20 @@ class WorkerPool:
             try:
                 for pe in range(n_pes):
                     worker = self._ensure_alive(pe)
+                    rule = inject("pool.job_send", rank=pe, job=job_id)
+                    if rule is not None:
+                        if rule.kind == "drop":
+                            # Simulated dispatch failure: the except
+                            # clause below rebuilds (partially
+                            # dispatched siblings are running) and the
+                            # typed error names the injected site.
+                            raise InjectedFaultError(rule)
+                        if rule.kind == "kill":
+                            # Kill the target *before* the send so the
+                            # BrokenPipe replace-and-resend path below
+                            # runs deterministically.
+                            worker.process.terminate()
+                            worker.process.join(timeout=5.0)
                     job = _PoolJob(
                         job_id,
                         pe,
@@ -463,26 +520,25 @@ class WorkerPool:
                 if pe not in results and pe not in error_pes and pe not in dead_pes
             ]
 
-        def mark_dead(pe: int) -> None:
-            # Hard crash: the worker can never reply.  Unblock its
-            # siblings (they fail with barrier-broken); the slot is
-            # respawned by the post-drain rebuild.
+        def mark_dead(pe: int, detail: str, brief: str) -> None:
+            # Hard crash (or protocol corruption): the worker can never
+            # reply usefully.  Unblock its siblings (they fail with
+            # barrier-broken); the slot is respawned by the post-drain
+            # rebuild.
             dead_pes.add(pe)
-            errors.append(
-                (
-                    "error",
-                    job_id,
-                    pe,
-                    f"worker process died "
-                    f"(exitcode {self._workers[pe].process.exitcode})",
-                    "WorkerCrash",
-                    None,
-                )
-            )
+            errors.append(("error", job_id, pe, detail, brief, None))
             try:
                 self._barriers[n_pes].abort()
             except Exception:
                 pass
+
+        def mark_crashed(pe: int) -> None:
+            mark_dead(
+                pe,
+                f"worker process died "
+                f"(exitcode {self._workers[pe].process.exitcode})",
+                "WorkerCrash",
+            )
 
         # The deadline is a *silence* window: every reply pushes it out,
         # so staggered-but-healthy PEs are not cut off at a fixed total.
@@ -511,7 +567,24 @@ class WorkerPool:
                         # A dead worker's pipe reads as EOF (poll() keeps
                         # returning True) — classify it here, not via a
                         # liveness check that readability would shadow.
-                        mark_dead(pe)
+                        mark_crashed(pe)
+                        continue
+                    if (
+                        not isinstance(msg, tuple)
+                        or len(msg) != 6
+                        or msg[0] not in ("ok", "error")
+                    ):
+                        # Garbage on the pipe: the worker is alive but
+                        # its protocol state is untrusted — treat it
+                        # like a crash (rebuild replaces it) instead of
+                        # letting a malformed tuple raise out of the
+                        # drain loop and wedge the job.
+                        mark_dead(
+                            pe,
+                            f"worker sent a malformed reply "
+                            f"({type(msg).__name__}: {msg!r:.80})",
+                            "MalformedReply",
+                        )
                         continue
                     if msg[1] != job_id:
                         continue  # stale reply from an abandoned job
@@ -522,7 +595,7 @@ class WorkerPool:
                         results[pe] = msg
                 elif not worker.process.is_alive():
                     progressed = True
-                    mark_dead(pe)
+                    mark_crashed(pe)
             if progressed:
                 deadline = time.monotonic() + drain_timeout
         stragglers = sorted(pending())
@@ -550,11 +623,16 @@ class WorkerPool:
             # Prefer a root-cause error over secondary barrier-broken ones.
             errors.sort(key=lambda e: ("barrier broken" in str(e[4]), e[2]))
             _, _, pe, tb, brief, _ = errors[0]
-            raise LolParallelError(
+            # Worker death/corruption is the pool's retryable failure
+            # class (the rebuild already produced fresh workers); a
+            # LOLCODE-level error stays a plain LolParallelError — a
+            # deterministic program fails identically on every retry.
+            exc_cls = WorkerCrashError if dead_pes else LolParallelError
+            raise exc_cls(
                 f"PE {pe} failed in pool executor: {brief}\n{tb}"
             )
         if stragglers:
-            raise LolParallelError(
+            raise StragglerTimeoutError(
                 f"PE(s) {stragglers} did not report a result within "
                 f"{drain_timeout:.1f}s of the last completion (completed: "
                 f"{sorted(results)}); the worker pool was rebuilt"

@@ -27,14 +27,45 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from ..faults import RetryPolicy, inject, is_retryable
 from ..lang.errors import LolError
 
 #: Fallback per-job timeout (seconds) when a submission does not set one.
 DEFAULT_JOB_TIMEOUT = 120.0
 
+#: Bound on queued-but-not-running jobs; beyond it, submissions are shed
+#: with a typed :class:`QueueFullError` instead of growing the queue
+#: (and the server's memory) without limit.
+DEFAULT_MAX_QUEUE_DEPTH = 256
+
+#: Default re-submission policy for jobs failing with *retryable* typed
+#: errors (worker death, toolchain transients, injected faults).  Those
+#: are rare in a healthy deployment, so retries are on by default —
+#: program-level errors never carry ``retryable`` and are never retried.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, backoff_base=0.05, backoff_factor=2.0, max_backoff=1.0
+)
+
 
 class ServiceError(Exception):
     """A request-level failure (bad submission, unknown job, ...)."""
+
+
+class QueueFullError(ServiceError):
+    """Submission shed: the scheduler's queue is at capacity.
+
+    Carries ``retry_after`` (seconds, estimated from recent job
+    durations and the concurrency) so clients can back off politely;
+    the server forwards both as ``error_type: "queue_full"`` +
+    ``retry_after`` wire fields.
+    """
+
+    error_type = "queue_full"
+    retryable = True
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class JobState(str, enum.Enum):
@@ -59,6 +90,8 @@ class JobSpec:
     workload: Optional[str] = None
     params: Mapping[str, int] = field(default_factory=dict)
     timeout: Optional[float] = None
+    fallback_engine: Optional[str] = None
+    max_attempts: Optional[int] = None
 
     @classmethod
     def from_request(cls, payload: Mapping) -> "JobSpec":
@@ -134,6 +167,25 @@ class JobSpec:
             isinstance(timeout, (int, float)) and timeout > 0
         ):
             raise ServiceError(f"timeout must be a positive number, got {timeout!r}")
+        fallback_engine = payload.get("fallback_engine")
+        if fallback_engine is not None:
+            if fallback_engine not in ENGINES:
+                raise ServiceError(
+                    f"unknown fallback_engine {fallback_engine!r} "
+                    f"(choose from {ENGINES})"
+                )
+            if fallback_engine == engine:
+                raise ServiceError(
+                    "fallback_engine must differ from engine "
+                    f"(both {engine!r})"
+                )
+        max_attempts = payload.get("max_attempts")
+        if max_attempts is not None and not (
+            isinstance(max_attempts, int) and max_attempts >= 1
+        ):
+            raise ServiceError(
+                f"max_attempts must be a positive integer, got {max_attempts!r}"
+            )
         return cls(
             source=source,
             n_pes=n_pes,
@@ -146,6 +198,8 @@ class JobSpec:
             workload=workload,
             params=params,
             timeout=timeout,
+            fallback_engine=fallback_engine,
+            max_attempts=max_attempts,
         )
 
 
@@ -162,6 +216,8 @@ class Job:
     result: Optional[dict] = None
     error: Optional[str] = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: per-attempt failure records (empty when the first attempt worked)
+    attempts: list = field(default_factory=list)
 
     def describe(self) -> dict:
         """Wire-format job status (the ``status``/``wait`` payload)."""
@@ -176,6 +232,8 @@ class Job:
             out["result"] = self.result
         if self.error is not None:
             out["error"] = self.error
+        if self.attempts:
+            out["attempts"] = list(self.attempts)
         return out
 
 
@@ -197,6 +255,7 @@ def execute_job(spec: JobSpec) -> dict:
         seed=spec.seed,
         trace=spec.trace,
         filename=spec.filename,
+        fallback_engine=spec.fallback_engine,
     )
     elapsed = time.perf_counter() - t0
     row = {
@@ -209,6 +268,11 @@ def execute_job(spec: JobSpec) -> dict:
         "outputs": result.outputs,
         "output": result.output,
     }
+    if result.degraded:
+        # The requested engine failed and the recorded fallback ran
+        # instead — the result is real but the row must say so.
+        row["degraded"] = True
+        row["degraded_reason"] = result.degraded_reason
     if spec.trace and result.trace is not None:
         row["trace"] = result.trace.summary()
     if spec.workload is not None:
@@ -234,12 +298,18 @@ class Scheduler:
         max_concurrency: int = 2,
         default_timeout: float = DEFAULT_JOB_TIMEOUT,
         max_retained_jobs: int = 1000,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, got {max_queue_depth}")
         self.max_concurrency = max_concurrency
         self.default_timeout = default_timeout
         self.max_retained_jobs = max_retained_jobs
+        self.max_queue_depth = max_queue_depth
+        self.retry_policy = retry_policy
         self._queue: asyncio.Queue[Job] = asyncio.Queue()
         self._jobs: Dict[str, Job] = {}
         #: terminal job ids in completion order, oldest first — the
@@ -254,6 +324,13 @@ class Scheduler:
         self._pool_gate = asyncio.Lock()
         self._running = 0
         self.peak_running = 0  # observability: max concurrent jobs seen
+        #: robustness counters, surfaced through ``stats`` (and from
+        #: there ``lolserve stats`` / ``BENCH_service.json``)
+        self.retries_total = 0  # retry attempts actually performed
+        self.shed_total = 0  # submissions rejected with QueueFullError
+        self.degraded_total = 0  # jobs completed on a fallback engine
+        #: EMA of job wall time, feeding QueueFullError's retry-after
+        self._ema_job_s = 0.1
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -278,7 +355,28 @@ class Scheduler:
     # -- client-facing operations -------------------------------------------
 
     def submit(self, spec: JobSpec) -> Job:
-        """Enqueue a job (FIFO); returns its record immediately."""
+        """Enqueue a job (FIFO); returns its record immediately.
+
+        Admission is bounded: past ``max_queue_depth`` queued jobs the
+        submission is shed with :class:`QueueFullError` (carrying a
+        retry-after estimate) instead of growing the backlog without
+        limit — under overload, fast rejection beats slow timeouts.
+        """
+        depth = self._queue.qsize()
+        rule = inject("scheduler.enqueue")
+        forced = rule is not None and rule.kind == "queue_full"
+        if forced or depth >= self.max_queue_depth:
+            self.shed_total += 1
+            retry_after = round(
+                max(0.05, (depth + 1) * self._ema_job_s / self.max_concurrency),
+                3,
+            )
+            raise QueueFullError(
+                f"queue full ({depth}/{self.max_queue_depth} jobs queued"
+                + (", injected fault at site 'scheduler.enqueue'" if forced else "")
+                + f"); retry in ~{retry_after:g}s",
+                retry_after,
+            )
         job = Job(job_id=f"job-{next(self._ids)}", spec=spec)
         self._jobs[job.job_id] = job
         self._queue.put_nowait(job)
@@ -332,6 +430,11 @@ class Scheduler:
             "running": self._running,
             "peak_running": self.peak_running,
             "max_concurrency": self.max_concurrency,
+            "max_queue_depth": self.max_queue_depth,
+            "retries": self.retries_total,
+            "shed": self.shed_total,
+            "degraded": self.degraded_total,
+            "retry_policy": self.retry_policy.describe(),
         }
 
     # -- execution ----------------------------------------------------------
@@ -365,19 +468,69 @@ class Scheduler:
         job.started_at = time.time()
         timeout = job.spec.timeout or self.default_timeout
         try:
+            # The per-job timeout bounds the *whole* attempt loop
+            # (including backoff sleeps): retries must never let one
+            # job hold a worker slot longer than its budget.
             job.result = await asyncio.wait_for(
-                asyncio.to_thread(execute_job, job.spec), timeout
+                self._run_attempts(job), timeout
             )
             job.state = JobState.DONE
+            if job.result.get("degraded"):
+                self.degraded_total += 1
         except asyncio.TimeoutError:
             # The worker thread cannot be killed; the run itself is
             # bounded by its barrier timeout.  The *job* is failed now
             # so the queue keeps moving.
             job.state = JobState.ERROR
             job.error = f"job timed out after {timeout:g}s"
+            if job.attempts:
+                job.error += (
+                    f" (attempt {len(job.attempts)} had failed with: "
+                    f"{job.attempts[-1]['error']})"
+                )
         except LolError as exc:
             job.state = JobState.ERROR
             job.error = exc.render()
         except Exception as exc:  # noqa: BLE001 - recorded per job
             job.state = JobState.ERROR
             job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            if job.started_at is not None:
+                elapsed = time.time() - job.started_at
+                self._ema_job_s = 0.8 * self._ema_job_s + 0.2 * elapsed
+
+    async def _run_attempts(self, job: Job) -> dict:
+        """Run the job, re-submitting on *retryable* typed failures.
+
+        Worker death, toolchain transients, and injected faults carry
+        ``retryable = True`` and get up to ``max_attempts`` tries with
+        deterministic exponential backoff; every failed attempt is
+        recorded on the job (and echoed into the result row), so "it
+        worked, on the second try, after a worker crash" is visible to
+        the submitter, not silently papered over.
+        """
+        policy = self.retry_policy
+        max_attempts = job.spec.max_attempts or policy.max_attempts
+        for attempt in itertools.count(1):
+            try:
+                row = await asyncio.to_thread(execute_job, job.spec)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                retryable = is_retryable(exc)
+                brief = f"{type(exc).__name__}: {exc}"
+                record = {
+                    "attempt": attempt,
+                    "error": brief[:300],
+                    "retryable": retryable,
+                }
+                job.attempts.append(record)
+                if not retryable or attempt >= max_attempts:
+                    raise
+                delay = policy.delay(attempt, seed=job.spec.seed or 0)
+                record["backoff_s"] = round(delay, 4)
+                self.retries_total += 1
+                await asyncio.sleep(delay)
+                continue
+            row["attempt_count"] = attempt
+            if job.attempts:
+                row["retries"] = list(job.attempts)
+            return row

@@ -39,7 +39,14 @@ import tempfile
 import threading
 from typing import Optional
 
-from .scheduler import DEFAULT_JOB_TIMEOUT, JobSpec, Scheduler, ServiceError
+from ..faults import fault_stats, inject
+from .scheduler import (
+    DEFAULT_JOB_TIMEOUT,
+    DEFAULT_MAX_QUEUE_DEPTH,
+    JobSpec,
+    Scheduler,
+    ServiceError,
+)
 
 #: Cap on one request line; a submission is source text, not a payload
 #: channel, and an unbounded readline is a trivial memory DoS.
@@ -55,10 +62,13 @@ class ServiceServer:
         *,
         max_concurrency: int = 2,
         default_timeout: float = DEFAULT_JOB_TIMEOUT,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
     ) -> None:
         self.socket_path = str(socket_path)
         self.scheduler = Scheduler(
-            max_concurrency=max_concurrency, default_timeout=default_timeout
+            max_concurrency=max_concurrency,
+            default_timeout=default_timeout,
+            max_queue_depth=max_queue_depth,
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
@@ -132,6 +142,12 @@ class ServiceServer:
                     break
                 if not line:
                     break
+                rule = inject("server.conn")
+                if rule is not None and rule.kind == "drop":
+                    # Simulated mid-request connection loss: the request
+                    # was read but never processed, so a client retry is
+                    # always safe.  Close without replying.
+                    break
                 try:
                     request = json.loads(line)
                     if not isinstance(request, dict):
@@ -139,6 +155,15 @@ class ServiceServer:
                     response = await self._dispatch(request)
                 except ServiceError as exc:
                     response = {"ok": False, "error": str(exc)}
+                    # Typed errors (e.g. QueueFullError) publish their
+                    # class and hints so clients can react specifically
+                    # instead of string-matching the message.
+                    error_type = getattr(exc, "error_type", None)
+                    if error_type:
+                        response["error_type"] = error_type
+                    retry_after = getattr(exc, "retry_after", None)
+                    if retry_after is not None:
+                        response["retry_after"] = retry_after
                 except (json.JSONDecodeError, ValueError) as exc:
                     response = {"ok": False, "error": f"bad request: {exc}"}
                 except Exception as exc:  # noqa: BLE001 - connection-scoped
@@ -187,8 +212,12 @@ class ServiceServer:
 
             return {"ok": True, "workloads": workload_names()}
         if op == "stats":
+            from ..compiler.native import native_stats
+
             stats = dict(self.scheduler.stats())
             stats["pool"] = self._pool_stats()
+            stats["native"] = native_stats()
+            stats["faults"] = fault_stats()
             return {"ok": True, "stats": stats}
         if op == "shutdown":
             self._shutdown.set()
@@ -225,6 +254,7 @@ def serve(
     *,
     max_concurrency: int = 2,
     default_timeout: float = DEFAULT_JOB_TIMEOUT,
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
 ) -> None:
     """Run a server in the foreground until a ``shutdown`` request
     (or KeyboardInterrupt) — the ``lolserve serve`` entry point."""
@@ -234,6 +264,7 @@ def serve(
             socket_path,
             max_concurrency=max_concurrency,
             default_timeout=default_timeout,
+            max_queue_depth=max_queue_depth,
         )
         await server.start()
         try:
@@ -264,6 +295,7 @@ class BackgroundServer:
         *,
         max_concurrency: int = 2,
         default_timeout: float = DEFAULT_JOB_TIMEOUT,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
     ) -> None:
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
         if socket_path is None:
@@ -273,6 +305,7 @@ class BackgroundServer:
         self.socket_path = socket_path
         self._max_concurrency = max_concurrency
         self._default_timeout = default_timeout
+        self._max_queue_depth = max_queue_depth
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
         self._start_error: Optional[BaseException] = None
@@ -284,6 +317,7 @@ class BackgroundServer:
                     self.socket_path,
                     max_concurrency=self._max_concurrency,
                     default_timeout=self._default_timeout,
+                    max_queue_depth=self._max_queue_depth,
                 )
                 await server.start()
             except BaseException as exc:  # noqa: BLE001 - surfaced to starter

@@ -89,6 +89,16 @@ def run_smoke(
         f"(peak concurrency {stats['peak_running']}, "
         f"pool: {stats.get('pool')})"
     )
+    # Robustness counters: what the run absorbed on the way to "all
+    # verified".  Nonzero retries under an armed fault plan is the CI
+    # chaos-smoke signal that recovery (not luck) produced the passes.
+    faults = stats.get("faults")
+    print(
+        f"smoke: retries {stats.get('retries', 0)}, "
+        f"shed {stats.get('shed', 0)}, "
+        f"degraded {stats.get('degraded', 0)}, "
+        f"faults {faults['fires'] if faults else 'disarmed'}"
+    )
     return failures
 
 
