@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import platform
 import sys
@@ -35,7 +36,7 @@ from repro import run_lolcode  # noqa: E402
 from repro.bench import best_of  # noqa: E402
 from repro.compiler import compile_python, load_pe_main  # noqa: E402
 from repro.shmem import run_spmd  # noqa: E402
-from repro.workloads import nbody_source  # noqa: E402
+from repro.workloads import all_workloads, nbody_source  # noqa: E402
 
 sys.path.insert(0, str(REPO_ROOT))
 from benchmarks.conftest import lol  # noqa: E402
@@ -61,11 +62,63 @@ BENCHES = [
 ]
 
 
+#: "Classroom scale" parameter overrides for the registry sweep below:
+#: big enough that interpretation dominates world setup, small enough
+#: that the whole matrix finishes in seconds.
+REGISTRY_PARAMS = {
+    "pi_montecarlo": {"darts": 20000},
+    "nbody": {"particles": 32, "steps": 2},
+    "nbody_racy": {"particles": 32, "steps": 2},
+    "histogram": {"draws": 2000},
+    "heat1d": {"cells": 256, "steps": 100},
+    "heat2d": {"rows": 16, "cols": 32, "steps": 20},
+}
+
+REGISTRY_N_PES = 4
+
+
+def run_registry(reps: int) -> tuple[list[dict], float]:
+    """closure-vs-vm rows for every registry workload at np=4.
+
+    Returns the rows plus the geometric-mean vm speedup over closure —
+    the headline number for the register-bytecode VM engine.
+    """
+    results: list[dict] = []
+    ratios: list[float] = []
+    for workload in all_workloads():
+        n_pes = max(REGISTRY_N_PES, workload.min_pes)
+        src = workload.source(
+            workload.bind_params(REGISTRY_PARAMS.get(workload.name))
+        )
+        timings: dict[str, float] = {}
+        for engine in ("closure", "vm"):
+            fn = lambda: run_lolcode(  # noqa: E731
+                src, n_pes, seed=42, engine=engine
+            )
+            fn()  # warm parse/compile caches
+            timings[engine] = best_of(fn, reps)
+        ratios.append(timings["closure"] / timings["vm"])
+        for engine, seconds in timings.items():
+            results.append(
+                {
+                    "bench": f"wl_{workload.name}",
+                    "engine": engine,
+                    "n_pes": n_pes,
+                    "seconds": round(seconds, 6),
+                    "speedup_vs_closure": round(
+                        timings["closure"] / seconds, 3
+                    ),
+                }
+            )
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    return results, geomean
+
+
 def run_benches(reps: int) -> list[dict]:
     results: list[dict] = []
     for name, src, n_pes in BENCHES:
         timings: dict[str, float] = {}
-        for engine in ("ast", "closure"):
+        for engine in ("ast", "closure", "vm"):
             fn = lambda: run_lolcode(src, n_pes, seed=42, engine=engine)  # noqa: E731
             fn()  # warm parse/compile caches
             timings[engine] = best_of(fn, reps)
@@ -97,23 +150,27 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = run_benches(args.reps)
+    registry_rows, vm_geomean = run_registry(args.reps)
+    results.extend(registry_rows)
     payload = {
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "reps": args.reps,
             "note": "seconds = best-of-reps wall clock via run_lolcode/run_spmd",
+            "vm_vs_closure_geomean_np4": round(vm_geomean, 3),
         },
         "results": results,
     }
     pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
 
     width = max(len(r["bench"]) for r in results)
-    print(f"{'bench':<{width}} {'engine':>10} {'PEs':>4} {'seconds':>10} {'vs ast':>8}")
+    print(f"{'bench':<{width}} {'engine':>10} {'PEs':>4} {'seconds':>10} {'speedup':>8}")
     for r in results:
+        speedup = r.get("speedup_vs_ast", r.get("speedup_vs_closure"))
         print(
             f"{r['bench']:<{width}} {r['engine']:>10} {r['n_pes']:>4} "
-            f"{r['seconds']:>10.4f} {r['speedup_vs_ast']:>7.2f}x"
+            f"{r['seconds']:>10.4f} {speedup:>7.2f}x"
         )
     closure_nbody = [
         r
@@ -122,6 +179,7 @@ def main(argv=None) -> int:
     ]
     worst = min(r["speedup_vs_ast"] for r in closure_nbody)
     print(f"\nclosure engine vs tree-walker on n-body: worst {worst:.2f}x")
+    print(f"vm engine vs closure, registry geomean (np=4): {vm_geomean:.2f}x")
     print(f"wrote {args.out}")
     return 0
 

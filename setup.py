@@ -19,6 +19,7 @@ setup(
             "lcc=repro.cli:lcc_main",
             "lolcc=repro.cli:lolcc_main",
             "loli=repro.cli:loli_main",
+            "loldis=repro.cli:loldis_main",
             "lolrun=repro.cli:lolrun_main",
             "lollint=repro.cli:lollint_main",
             "lolfmt=repro.cli:lolfmt_main",

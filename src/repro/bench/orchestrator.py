@@ -75,7 +75,7 @@ class SweepConfig:
     """What to run: the experiment matrix plus measurement knobs."""
 
     workloads: Sequence[str] = ()  # empty = every registered workload
-    engines: Sequence[str] = ("closure", "ast", "compiled")
+    engines: Sequence[str] = ("closure", "ast", "vm", "compiled")
     executors: Sequence[str] = ("thread",)
     pe_counts: Sequence[int] = (1, 4)
     reps: int = 3

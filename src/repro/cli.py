@@ -9,6 +9,8 @@
   standalone executable against the bundled single-node SHMEM shim
   (what ``run_lolcode(engine="c")`` uses under the hood).
 * ``loli`` — serial reference interpreter (the role of ``lci``).
+* ``loldis`` — disassembler for the register-bytecode VM engine: print
+  the bytecode a program compiles to (``--engine vm``'s executable form).
 * ``lolrun`` — SPMD launcher, the ``coprsh`` / ``aprun`` analogue:
   ``lolrun -np 16 code.lol`` (``--engine c`` runs the natively
   compiled binary, one OS process per PE).
@@ -160,13 +162,17 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--engine",
         choices=ENGINES,
-        default="closure",
+        default=None,
         help="execution engine (closure = compiled closures, default; "
-        "ast = reference tree-walker; compiled = lcc-style "
-        "LOLCODE-to-Python compilation; c = natively compiled single-PE "
-        "binary; --max-steps implies ast)",
+        "ast = reference tree-walker; vm = register-bytecode VM; "
+        "compiled = lcc-style LOLCODE-to-Python compilation; c = "
+        "natively compiled single-PE binary; with --max-steps the "
+        "default becomes vm, which counts steps natively)",
     )
     args = parser.parse_args(argv)
+    # Step limits are honoured natively by vm and ast only; the closure
+    # default would be refused, so a bare --max-steps routes to the VM.
+    engine = args.engine or ("vm" if args.max_steps is not None else "closure")
     try:
         from .launcher import run_lolcode
 
@@ -177,11 +183,45 @@ def loli_main(argv: Optional[Sequence[str]] = None) -> int:
             filename=args.source,
             seed=args.seed,
             max_steps=args.max_steps,
-            engine=args.engine,
+            engine=engine,
         )
     except LolError as exc:
         return _fail(exc)
     sys.stdout.write(result.output)
+    return 0
+
+
+def loldis_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="loldis",
+        description="disassemble a LOLCODE program to the register "
+        "bytecode the VM engine executes",
+    )
+    parser.add_argument("source", help="input .lol file ('-' for stdin)")
+    parser.add_argument(
+        "--count-flops",
+        action="store_true",
+        help="compile with FLOP accounting (what a traced run executes)",
+    )
+    parser.add_argument(
+        "--count-steps",
+        action="store_true",
+        help="compile with statement-step counting (what a --max-steps "
+        "run executes; disables loop vectorization)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        from .vm import disassemble_source
+
+        out = disassemble_source(
+            _read(args.source),
+            filename=args.source,
+            count_flops=args.count_flops,
+            count_steps=args.count_steps,
+        )
+    except LolError as exc:
+        return _fail(exc)
+    print(out)
     return 0
 
 
@@ -220,7 +260,8 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
         choices=ENGINES,
         default="closure",
         help="execution engine (closure = compiled closures, default; "
-        "ast = reference tree-walker; compiled = lcc-style "
+        "ast = reference tree-walker; vm = register-bytecode VM, the "
+        "fastest pure-Python engine; compiled = lcc-style "
         "LOLCODE-to-Python compilation; c = natively compiled binary "
         "over the bundled SHMEM shim, one OS process per PE)",
     )

@@ -8,8 +8,12 @@ other (and against the compiled-Python backend):
   (:mod:`repro.interp.closures`) turns the AST into nested closures with
   slot-indexed frames; no per-operation dispatch remains on the hot path;
 * ``"ast"`` — the reference tree-walker
-  (:mod:`repro.interp.interpreter`), also the only engine supporting
-  ``max_steps`` execution limits.
+  (:mod:`repro.interp.interpreter`);
+* ``"vm"`` — the register-bytecode VM (:mod:`repro.vm`): AST compiled
+  once to flat bytecode with superinstructions, run by a dispatch loop
+  with inline caches.  The fastest pure-Python engine, and (with
+  ``ast``) one of the two engines supporting ``max_steps`` execution
+  limits — the VM counts statement steps natively in its dispatch loop.
 
 (The other registered engines are not interpreters at all:
 ``"compiled"`` is the LOLCODE -> Python source-to-source backend in
@@ -53,7 +57,7 @@ from .values import (
 #: ``"c"`` is the native path (:mod:`repro.compiler.native`): the C
 #: backend's output built with the system compiler and launched as
 #: ``n_pes`` OS processes over the bundled SHMEM shim.
-ENGINES = ("closure", "ast", "compiled", "c")
+ENGINES = ("closure", "ast", "vm", "compiled", "c")
 
 
 @single_flight
@@ -77,6 +81,32 @@ def compile_closures_cached(
     )
 
 
+@single_flight
+@lru_cache(maxsize=64)
+def compile_vm_cached(
+    source: str,
+    filename: str = "<string>",
+    count_flops: bool = False,
+    count_steps: bool = False,
+):
+    """Parse + bytecode-compile ``source`` for the VM engine, memoized.
+
+    ``count_flops`` and ``count_steps`` are part of the key because both
+    FLOP accounting and statement-step counting are compiled into the
+    bytecode (and step counting disables loop vectorization, which would
+    otherwise batch many statements per dispatch).
+    """
+    from ..lang.parser import parse_cached
+    from ..vm.compile import compile_program_vm
+
+    return compile_program_vm(
+        parse_cached(source, filename),
+        count_flops=count_flops,
+        count_steps=count_steps,
+        vectorize=not count_steps,
+    )
+
+
 __all__ = [
     "Binding",
     "Env",
@@ -89,6 +119,7 @@ __all__ = [
     "CompiledProgram",
     "compile_program",
     "compile_closures_cached",
+    "compile_vm_cached",
     "ENGINES",
     "FLOP_COST",
     "BINOP_FUNCS",

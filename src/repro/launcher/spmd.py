@@ -38,7 +38,7 @@ from ..lang import ast
 from ..lang.errors import LolParallelError
 from ..lang.parser import parse_cached
 from ..lang.types import parse_type, to_numbr
-from ..interp import ENGINES, compile_closures_cached
+from ..interp import ENGINES, compile_closures_cached, compile_vm_cached
 from ..interp.interpreter import Interpreter
 from ..interp.values import binop, unop
 from ..compiler.py_backend import compile_python_cached, compiled_worker
@@ -121,11 +121,18 @@ def _pe_main(
     picklable: thread PEs share one compiled program through the
     :func:`~repro.interp.compile_closures_cached` /
     :func:`~repro.compiler.compile_python_cached` LRUs, while each worker
-    process hits its own per-process cache.  A ``max_steps`` limit forces
-    the tree-walker for the closure engine (neither compiled engine
-    instruments statement counting on its hot path; the launcher rejects
-    ``max_steps`` for ``engine="compiled"`` before dispatch).
+    process hits its own per-process cache.  ``max_steps`` is honoured
+    natively by the ``vm`` and ``ast`` engines only; the launcher
+    rejects it for every other engine before dispatch.
     """
+    if engine == "vm":
+        # The VM counts statement steps in its own dispatch loop, so a
+        # max_steps limit never changes which engine runs.  count_flops
+        # (like the closure engine) keys off whether tracing is on.
+        compile_vm_cached(
+            source, filename, ctx.trace is not None, max_steps is not None
+        ).run(ctx, max_steps=max_steps)
+        return
     if max_steps is None:
         if engine == "closure":
             compiled = compile_closures_cached(
@@ -160,8 +167,10 @@ def run_lolcode(
 
     ``engine`` selects the execution engine per PE: ``"closure"``
     (default — compile once per program into zero-dispatch closures,
-    shared by all PEs), ``"ast"`` (the reference tree-walker; also used
-    automatically whenever ``max_steps`` is requested), ``"compiled"``
+    shared by all PEs), ``"ast"`` (the reference tree-walker),
+    ``"vm"`` (register bytecode run by a dispatch loop with inline
+    caches — the fastest pure-Python engine; with ``ast`` the only
+    engine honouring ``max_steps``, counted natively), ``"compiled"``
     (LOLCODE compiled to a Python ``pe_main`` module and launched;
     rejects interpret-only constructs such as ``SRS`` computed
     identifiers with a :class:`~repro.compiler.CompileError`, and
@@ -272,6 +281,17 @@ def run_lolcode(
             seed=seed,
             stdin_lines=stdin_lines,
             barrier_timeout=barrier_timeout,
+        )
+    if engine == "closure" and max_steps is not None:
+        # This used to fall back silently to the tree-walker, which made
+        # "closure with a step limit" report ast-engine timings and let
+        # interpret-only programs slip through.  Refuse loudly instead,
+        # like the compiled engines do, and point at the engines that
+        # count steps natively.
+        raise LolParallelError(
+            "engine='closure' does not support max_steps; use engine='vm' "
+            "(step counting in the bytecode dispatch loop) or engine='ast' "
+            "(the step-counting tree-walker)"
         )
     if engine == "compiled":
         if max_steps is not None:

@@ -177,6 +177,10 @@ class SymmetricHeap:
         self.n_pes = n_pes
         self._symbols: dict[str, SymmetricObject] = {}
         self._mutex = threading.Lock()
+        #: monotonic generation counter, bumped whenever the symbol table
+        #: gains an entry.  The VM engine's inline caches key on it: a
+        #: cached cell handle is valid only while the generation matches.
+        self.version = 0
 
     def alloc(
         self,
@@ -216,12 +220,14 @@ class SymmetricHeap:
                 per_pe = [ScalarCell(init) for _ in range(self.n_pes)]
             obj = SymmetricObject(name, lol_type, is_array, size, has_lock, per_pe)
             self._symbols[name] = obj
+            self.version += 1
             return obj
 
     def attach(self, name: str, obj: SymmetricObject) -> None:
         """Register a pre-built symbol (used by the process executor)."""
         with self._mutex:
             self._symbols[name] = obj
+            self.version += 1
 
     def lookup(self, name: str) -> SymmetricObject:
         obj = self._symbols.get(name)

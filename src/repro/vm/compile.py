@@ -1,0 +1,1190 @@
+"""AST -> register bytecode compiler for the VM engine.
+
+Mirrors :class:`~repro.interp.closures.ClosureCompiler` statement for
+statement — same :mod:`repro.lang.resolve` slot allocation, same scope
+discipline (loop pre-scan, pending function queue against the final root
+scope), same error sites and messages — but emits flat instruction
+tuples (:mod:`repro.vm.isa`) instead of nested closures, so the machine
+runs one dispatch loop instead of a call tree.
+
+Expression temporaries share the variable :class:`FrameLayout`: each
+statement draws temps from a free list and returns them when the
+statement ends, so a loop body reuses the same handful of slots forever.
+Because only the *final* instruction of an expression writes its
+destination, compiling an expression directly into a variable slot
+(``x R SUM OF x AN 1`` -> one ``ADD_SC`` with dst == operand) is safe.
+
+Peephole superinstructions emitted here:
+
+* fused compare-branches (``BR_*``) for ``O RLY?`` / loop conditions;
+* ``INC_JMP`` — counter increment + back-edge;
+* ``PUT_BARRIER`` — a ``UR``-put immediately followed by ``HUGZ``;
+* ``GET_BIN`` — a remote get feeding a binary op into a local scalar;
+* ``LOOP_VEC`` — whole counted loops vectorized by
+  :mod:`repro.vm.vectorize` (guarded; falls back to the scalar loop).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lang import ast
+from ..lang.errors import (
+    LolNameError,
+    LolParallelError,
+    LolRuntimeError,
+    LolTypeError,
+    SourcePos,
+)
+from ..lang.resolve import GLOBAL, LOCAL, MISSING, SYMMETRIC, FrameLayout, ScopeStack
+from ..lang.types import LolType, default_value, parse_type
+from ..interp.env import UNDECLARED
+from ..interp.values import BINOP_FUNCS, FLOP_COST, NARYOP_FUNCS, UNOP_FUNCS
+from . import isa
+from .isa import CodeObject, Label, VMFunction, VMProgram
+
+_NUMBR = LolType.NUMBR
+_NUMBAR = LolType.NUMBAR
+
+#: Specialized arithmetic opcodes (ss, sc, cs) per BinOp op name.
+_ARITH_OPS = {
+    "add": (isa.ADD_SS, isa.ADD_SC, isa.ADD_CS),
+    "sub": (isa.SUB_SS, isa.SUB_SC, isa.SUB_CS),
+    "mul": (isa.MUL_SS, isa.MUL_SC, isa.MUL_CS),
+}
+
+#: Fused branch-if-true opcodes (ss, sc) per comparison op; the matching
+#: branch-if-false is the complement row.
+_BR_TRUE = {
+    "eq": (isa.BR_EQ_SS, isa.BR_EQ_SC),
+    "ne": (isa.BR_NE_SS, isa.BR_NE_SC),
+    "gt": (isa.BR_GT_SS, isa.BR_GT_SC),
+    "lt": (isa.BR_LT_SS, isa.BR_LT_SC),
+}
+_BR_FALSE = {
+    "eq": (isa.BR_NE_SS, isa.BR_NE_SC),
+    "ne": (isa.BR_EQ_SS, isa.BR_EQ_SC),
+    "gt": (isa.BR_LE_SS, isa.BR_LE_SC),
+    "lt": (isa.BR_GE_SS, isa.BR_GE_SC),
+}
+#: Relation swap for canonicalising ``<const> OP <slot>`` into _SC form.
+#: Only applied when the constant is a numeric literal (numeric literals
+#: never fail coercion, so evaluation-order of errors is preserved).
+_SWAP_REL = {"eq": "eq", "ne": "ne", "gt": "lt", "lt": "gt"}
+
+#: Expression node types whose value is always a scalar, so an untyped
+#: local store can skip the ``is_scalar_value`` check.
+_SCALAR_NODES = (
+    ast.IntLit,
+    ast.FloatLit,
+    ast.TroofLit,
+    ast.NoobLit,
+    ast.StringLit,
+    ast.MeExpr,
+    ast.FrenzExpr,
+    ast.RandomExpr,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.NaryOp,
+    ast.Index,
+)
+
+
+def _undeclared_raiser(name: str, pos: SourcePos):
+    def raise_it() -> None:
+        raise LolNameError(
+            f"variable '{name}' has not been declared (I HAS A {name})", pos
+        )
+
+    return raise_it
+
+
+def _message_raiser(exc_type, message: str, pos: SourcePos):
+    def raise_it() -> None:
+        raise exc_type(message, pos)
+
+    return raise_it
+
+
+class _Asm:
+    """Instruction buffer for one code object (program, function, mini)."""
+
+    __slots__ = (
+        "name",
+        "layout",
+        "code",
+        "positions",
+        "free_temps",
+        "stmt_temps",
+        "n_caches",
+        "is_function",
+        "break_stack",
+        "txt_depth",
+    )
+
+    def __init__(self, name: str, layout: FrameLayout, is_function: bool) -> None:
+        self.name = name
+        self.layout = layout
+        self.code: list = []
+        self.positions: list = []
+        self.free_temps: list[int] = []
+        self.stmt_temps: list[int] = []
+        self.n_caches = 0
+        self.is_function = is_function
+        #: (exit_label, txt_depth_at_entry) for enclosing loops/switches.
+        self.break_stack: list[tuple[Label, int]] = []
+        self.txt_depth = 0
+
+    def emit(self, ins: tuple, pos: SourcePos) -> int:
+        pc = len(self.code)
+        self.code.append(ins)
+        self.positions.append(pos)
+        return pc
+
+    def label(self) -> Label:
+        return Label()
+
+    def mark(self, label: Label) -> None:
+        label.pc = len(self.code)
+
+    def temp(self) -> int:
+        if self.free_temps:
+            slot = self.free_temps.pop()
+        else:
+            slot = self.layout.alloc()
+        self.stmt_temps.append(slot)
+        return slot
+
+    def end_stmt(self) -> None:
+        if self.stmt_temps:
+            self.free_temps.extend(self.stmt_temps)
+            self.stmt_temps.clear()
+
+    def cache_slot(self) -> int:
+        idx = self.n_caches
+        self.n_caches += 1
+        return idx
+
+    def finish(self, n_slots: int) -> CodeObject:
+        return CodeObject(
+            self.name,
+            isa.patch_jumps(self.code),
+            tuple(self.positions),
+            n_slots,
+            self.n_caches,
+        )
+
+
+class VMCompiler:
+    """One-shot AST -> bytecode translation for one program."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        *,
+        count_flops: bool = False,
+        count_steps: bool = False,
+        vectorize: bool = True,
+    ) -> None:
+        self.program = program
+        self.count_flops = count_flops
+        self.count_steps = count_steps
+        # Vectorization changes per-statement step accounting and skips
+        # the per-op FLOP counters, so step limits and FLOP tracing both
+        # disable it outright (every bail path stays correct).
+        self.vectorize = vectorize and not count_steps and not count_flops
+        self.root_layout = FrameLayout()
+        self.root_scope = ScopeStack(self.root_layout)
+        self._pending_funcs: list[tuple[ast.FuncDef, VMFunction]] = []
+        self._compiled_funcs: dict[int, VMFunction] = {}
+
+    def compile(self) -> VMProgram:
+        hoisted: dict[str, VMFunction] = {}
+        for stmt in self.program.body:
+            if isinstance(stmt, ast.FuncDef):
+                hoisted[stmt.name] = self._function_stub(stmt)
+        asm = _Asm("<main>", self.root_layout, is_function=False)
+        self._block(self.program.body, self.root_scope, asm)
+        asm.emit((isa.HALT,), self.program.pos)
+        while self._pending_funcs:
+            node, vmf = self._pending_funcs.pop()
+            self._fill_function(node, vmf)
+        co = asm.finish(self.root_layout.n_slots)
+        return VMProgram(co, hoisted, self.count_flops, self.count_steps)
+
+    # -- functions --------------------------------------------------------
+
+    def _function_stub(self, node: ast.FuncDef) -> VMFunction:
+        vmf = self._compiled_funcs.get(id(node))
+        if vmf is None:
+            vmf = VMFunction(node.name, len(node.params), (), None, node.pos)
+            self._compiled_funcs[id(node)] = vmf
+            self._pending_funcs.append((node, vmf))
+        return vmf
+
+    def _fill_function(self, node: ast.FuncDef, vmf: VMFunction) -> None:
+        layout = FrameLayout()
+        scope = ScopeStack(layout, root=self.root_scope)
+        param_slots = []
+        for param in node.params:
+            param_slots.append(scope.declare(param).slot)
+        vmf.param_slots = tuple(param_slots)
+        asm = _Asm(node.name, layout, is_function=True)
+        self._block(node.body, scope, asm)
+        asm.emit((isa.RET, 0), node.pos)  # fall off the end: IT is returned
+        vmf.co = asm.finish(layout.n_slots)
+
+    # -- blocks and statements -------------------------------------------
+
+    def _block(self, stmts: list, scope: ScopeStack, asm: _Asm) -> None:
+        i = 0
+        n = len(stmts)
+        while i < n:
+            stmt = stmts[i]
+            if self.count_steps:
+                asm.emit((isa.STEP,), stmt.pos)
+            # PUT_BARRIER superinstruction: a UR-put followed by HUGZ.
+            if (
+                not self.count_steps
+                and i + 1 < n
+                and isinstance(stmts[i + 1], ast.Hugz)
+                and self._try_put_barrier(stmt, scope, asm)
+            ):
+                asm.end_stmt()
+                i += 2
+                continue
+            self._stmt(stmt, scope, asm)
+            asm.end_stmt()
+            i += 1
+
+    def _child_block(self, stmts: list, scope: ScopeStack, asm: _Asm) -> None:
+        scope.push()
+        try:
+            self._block(stmts, scope, asm)
+        finally:
+            scope.pop()
+
+    def _stmt(self, stmt, scope: ScopeStack, asm: _Asm) -> None:
+        method = self._STMT_DISPATCH.get(type(stmt))
+        if method is None:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolRuntimeError,
+                        f"statement {type(stmt).__name__} not implemented",
+                        stmt.pos,
+                    ),
+                ),
+                stmt.pos,
+            )
+            return
+        method(self, stmt, scope, asm)
+
+    def _stmt_var_decl(self, stmt: ast.VarDecl, scope: ScopeStack, asm: _Asm) -> None:
+        pos = stmt.pos
+        name = stmt.name
+        declared = parse_type(stmt.static_type, pos) if stmt.static_type else None
+        if stmt.scope == "WE":
+            self._stmt_symmetric_decl(stmt, declared, asm)
+            return
+        if stmt.is_array:
+            sreg = self._expr_reg(stmt.size, scope, asm)
+            elem_t = declared or LolType.NUMBAR
+            slot = scope.declare(name, static_type=declared, is_array=True).slot
+            asm.emit((isa.ARRDECL, slot, sreg, (elem_t, name)), pos)
+            return
+        # The initializer compiles *before* the name is (re)declared, so
+        # ``I HAS A x ITZ SUM OF x AN 1`` sees the previous binding.
+        # An untyped declaration stores the value *unchecked* (like the
+        # closure engine's ``run_init``): the value goes into a temp and
+        # the temp's producing instruction is retargeted at the new slot.
+        if stmt.init is not None:
+            if declared is not None:
+                vreg = self._expr_reg(stmt.init, scope, asm)
+                slot = scope.declare(name, static_type=declared).slot
+                asm.emit((isa.ST_TYPED, slot, vreg, (declared, name)), pos)
+            else:
+                op = self._operand(stmt.init, scope)
+                if op is not None:
+                    slot = scope.declare(name).slot
+                    if op[0] == "c":
+                        asm.emit((isa.LOADC, slot, op[1]), pos)
+                    elif op[1] != slot:
+                        asm.emit((isa.MOVE, slot, op[1]), pos)
+                    return
+                tmp = asm.temp()
+                self._expr(stmt.init, scope, asm, tmp)
+                slot = scope.declare(name).slot
+                last = asm.code[-1]
+                if (
+                    last[0] != isa.RAISE_ERR
+                    and isa.OPFIELDS[last[0]][:1] == "r"
+                    and last[1] == tmp
+                ):
+                    # Only the final instruction of an expression writes
+                    # its destination, so retargeting it is safe.
+                    asm.code[-1] = (last[0], slot) + last[2:]
+                else:
+                    asm.emit((isa.MOVE, slot, tmp), pos)
+            return
+        slot = scope.declare(name, static_type=declared).slot
+        default = default_value(declared) if declared is not None else None
+        asm.emit((isa.LOADC, slot, default), pos)
+
+    def _stmt_symmetric_decl(
+        self, stmt: ast.VarDecl, declared: Optional[LolType], asm: _Asm
+    ) -> None:
+        pos = stmt.pos
+        name = stmt.name
+        if declared is None:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolParallelError,
+                        f"symmetric variable '{name}' must be typed "
+                        f"(WE HAS A {name} ITZ SRSLY A <type> ...)",
+                        pos,
+                    ),
+                ),
+                pos,
+            )
+            return
+        # Size/init expressions evaluate on the *root* frame (mini code
+        # objects executed against gframe), exactly as the tree-walker
+        # evaluates them on ``self.globals``.
+        size_co = (
+            self._compile_mini(stmt.size, f"<size {name}>") if stmt.is_array else None
+        )
+        init_co = (
+            self._compile_mini(stmt.init, f"<init {name}>")
+            if stmt.init is not None
+            else None
+        )
+        self.root_scope.declare_symmetric(
+            name, static_type=declared, is_array=stmt.is_array
+        )
+        asm.emit(
+            (
+                isa.SYMDECL,
+                (name, declared, stmt.is_array, stmt.shared_lock, size_co, init_co),
+            ),
+            pos,
+        )
+
+    def _compile_mini(self, expr, name: str) -> CodeObject:
+        """Compile one root-frame expression into its own code object."""
+        mini = _Asm(name, self.root_layout, is_function=False)
+        dst = mini.temp()
+        self._expr(expr, self.root_scope, mini, dst)
+        mini.emit((isa.RET, dst), expr.pos)
+        mini.end_stmt()
+        return mini.finish(0)  # executes on gframe; n_slots unused
+
+    def _stmt_assign(self, stmt: ast.Assign, scope: ScopeStack, asm: _Asm) -> None:
+        target = stmt.target
+        # Fuse plain local-scalar stores: compile the value straight into
+        # the destination slot.
+        if isinstance(target, ast.VarRef) and target.qualifier != "UR":
+            info = scope.lookup(target.name)
+            if (
+                info is not None
+                and info.kind == LOCAL
+                and not info.is_array
+                and info.fallback is None
+            ):
+                slot = info.slot
+                name = target.name
+                pos = target.pos
+                if info.static_type is not None:
+                    if self._try_get_bin(stmt.value, scope, asm, slot):
+                        asm.emit(
+                            (isa.COERCE, slot, (info.static_type, name)), pos
+                        )
+                        return
+                    vreg = self._expr_reg(stmt.value, scope, asm)
+                    asm.emit(
+                        (isa.ST_TYPED, slot, vreg, (info.static_type, name)), pos
+                    )
+                    return
+                if self._try_get_bin(stmt.value, scope, asm, slot):
+                    return
+                if isinstance(stmt.value, _SCALAR_NODES) or self._is_scalar_read(
+                    stmt.value, scope
+                ):
+                    self._expr(stmt.value, scope, asm, slot)
+                    return
+                vreg = self._expr_reg(stmt.value, scope, asm)
+                asm.emit((isa.ST_DYN, slot, vreg, name), pos)
+                return
+        vreg = self._expr_reg(stmt.value, scope, asm)
+        self._emit_store(target, scope, asm, vreg)
+
+    def _try_put_barrier(self, stmt, scope: ScopeStack, asm: _Asm) -> bool:
+        """Emit a fused ``PUT_BARRIER`` for ``<UR put>`` + ``HUGZ``."""
+        if not isinstance(stmt, ast.Assign):
+            return False
+        target = stmt.target
+        if isinstance(target, ast.VarRef) and target.qualifier == "UR":
+            vreg = self._expr_reg(stmt.value, scope, asm)
+            asm.emit(
+                (isa.PUT_BARRIER, target.name, vreg, (None,)), target.pos
+            )
+            return True
+        if (
+            isinstance(target, ast.Index)
+            and isinstance(target.base, ast.VarRef)
+            and target.base.qualifier == "UR"
+        ):
+            vreg = self._expr_reg(stmt.value, scope, asm)
+            ireg = self._expr_reg(target.index, scope, asm)
+            asm.emit(
+                (isa.PUT_BARRIER, target.base.name, vreg, (ireg,)), target.pos
+            )
+            return True
+        return False
+
+    def _try_get_bin(self, value, scope: ScopeStack, asm: _Asm, dst: int) -> bool:
+        """Emit a fused ``GET_BIN`` (remote get + binop) into ``dst``."""
+        if self.count_flops or not isinstance(value, ast.BinOp):
+            return False
+        fn = BINOP_FUNCS.get(value.op)
+        if fn is None:
+            return False
+
+        def remote_spec(node):
+            # A ``UR``-qualified scalar or simply-indexed element get.
+            if isinstance(node, ast.VarRef) and node.qualifier == "UR":
+                return (node.name, None)
+            if (
+                isinstance(node, ast.Index)
+                and isinstance(node.base, ast.VarRef)
+                and node.base.qualifier == "UR"
+            ):
+                idx = self._operand(node.index, scope)
+                if idx is not None:
+                    return (node.base.name, idx)
+            return None
+
+        lhs_r = remote_spec(value.lhs)
+        rhs_r = remote_spec(value.rhs)
+        if lhs_r is not None and rhs_r is None:
+            other = self._operand(value.rhs, scope)
+            if other is None:
+                return False
+            name, idx = lhs_r
+            asm.emit(
+                (isa.GET_BIN, dst, (fn, name, idx, True, other, value.pos)),
+                value.pos,
+            )
+            return True
+        if rhs_r is not None and lhs_r is None:
+            other = self._operand(value.lhs, scope)
+            if other is None:
+                return False
+            name, idx = rhs_r
+            asm.emit(
+                (isa.GET_BIN, dst, (fn, name, idx, False, other, value.pos)),
+                value.pos,
+            )
+            return True
+        return False
+
+    def _stmt_cast(self, stmt: ast.CastStmt, scope: ScopeStack, asm: _Asm) -> None:
+        pos = stmt.pos
+        to_type = parse_type(stmt.to_type, pos)
+        tmp = self._expr_reg(stmt.target, scope, asm)
+        asm.emit((isa.CAST, tmp, tmp, (to_type,)), pos)
+        self._emit_store(stmt.target, scope, asm, tmp)
+
+    def _stmt_expr(self, stmt: ast.ExprStmt, scope: ScopeStack, asm: _Asm) -> None:
+        if isinstance(stmt.expr, ast.ItRef):
+            return  # IT <- IT
+        self._expr(stmt.expr, scope, asm, 0)
+
+    def _stmt_visible(self, stmt: ast.Visible, scope: ScopeStack, asm: _Asm) -> None:
+        parts: list = []
+        for arg in stmt.args:
+            const = self._const_display(arg)
+            if const is not None:
+                parts.append(const)
+                continue
+            reg = self._expr_reg(arg, scope, asm)
+            tmp = asm.temp()
+            asm.emit((isa.DISPLAY, tmp, reg), arg.pos)
+            parts.append(tmp)
+        end = "\n" if stmt.newline else ""
+        asm.emit((isa.VISIBLE, tuple(parts), end), stmt.pos)
+
+    def _const_display(self, node) -> Optional[str]:
+        """Pre-render a constant VISIBLE argument at compile time."""
+        from ..interp.interpreter import display_value
+
+        t = type(node)
+        if t in (ast.IntLit, ast.FloatLit, ast.TroofLit):
+            return display_value(node.value, node.pos)
+        if t is ast.NoobLit:
+            return display_value(None, node.pos)
+        if t is ast.StringLit and node.is_plain():
+            return node.plain_text()
+        return None
+
+    def _stmt_gimmeh(self, stmt: ast.Gimmeh, scope: ScopeStack, asm: _Asm) -> None:
+        tmp = asm.temp()
+        asm.emit((isa.READLINE, tmp), stmt.pos)
+        self._emit_store(stmt.target, scope, asm, tmp)
+
+    def _stmt_can_has(self, stmt: ast.CanHas, scope: ScopeStack, asm: _Asm) -> None:
+        asm.emit((isa.CANHAS, stmt.library), stmt.pos)
+
+    def _stmt_if(self, stmt: ast.If, scope: ScopeStack, asm: _Asm) -> None:
+        lend = asm.label()
+        lnext = asm.label()
+        asm.emit((isa.JF, 0, lnext), stmt.pos)
+        self._child_block(stmt.ya_rly, scope, asm)
+        asm.emit((isa.JMP, lend), stmt.pos)
+        asm.mark(lnext)
+        for cond, body in stmt.mebbe:
+            lnext = asm.label()
+            self._branch_false(cond, scope, asm, lnext)
+            asm.end_stmt()
+            self._child_block(body, scope, asm)
+            asm.emit((isa.JMP, lend), stmt.pos)
+            asm.mark(lnext)
+        self._child_block(stmt.no_wai, scope, asm)
+        asm.mark(lend)
+
+    def _stmt_switch(self, stmt: ast.Switch, scope: ScopeStack, asm: _Asm) -> None:
+        lend = asm.label()
+        ldefault = asm.label()
+        body_labels = [asm.label() for _ in stmt.cases]
+        for (lit, _), lbl in zip(stmt.cases, body_labels):
+            reg = self._expr_reg(lit, scope, asm)
+            asm.emit((isa.JEQ, 0, reg, lbl), lit.pos)
+        asm.end_stmt()
+        asm.emit((isa.JMP, ldefault), stmt.pos)
+        asm.break_stack.append((lend, asm.txt_depth))
+        try:
+            for (_, body), lbl in zip(stmt.cases, body_labels):
+                asm.mark(lbl)  # C-style fallthrough into the next case
+                self._child_block(body, scope, asm)
+            asm.mark(ldefault)
+            self._child_block(stmt.default, scope, asm)
+        finally:
+            asm.break_stack.pop()
+        asm.mark(lend)
+
+    def _prescan_loop_decls(self, stmts: list, scope: ScopeStack) -> None:
+        # Same pre-pass as the closure engine: scalar declarations at
+        # this block level (plus TXT bodies) are pre-bound with a
+        # runtime fallback to the enclosing binding.
+        for s in stmts:
+            if isinstance(s, ast.VarDecl) and s.scope != "WE" and not s.is_array:
+                declared = (
+                    parse_type(s.static_type, s.pos) if s.static_type else None
+                )
+                scope.predeclare(s.name, static_type=declared)
+            elif isinstance(s, ast.TxtStmt):
+                self._prescan_loop_decls(s.body, scope)
+
+    def _stmt_loop(self, stmt: ast.Loop, scope: ScopeStack, asm: _Asm) -> None:
+        pos = stmt.pos
+        lo = scope.layout.n_slots
+        scope.push()
+        try:
+            cslot = -1
+            if stmt.var is not None:
+                cslot = scope.declare(stmt.var, static_type=LolType.NUMBR).slot
+            self._prescan_loop_decls(stmt.body, scope)
+            plan = None
+            if self.vectorize:
+                from .vectorize import try_vectorize
+
+                plan = try_vectorize(stmt, scope, self, cslot)
+            reset_pc = asm.emit((isa.RESET, lo, lo, ()), pos)
+            lexit = asm.label()
+            if cslot >= 0:
+                asm.emit((isa.LOADC, cslot, 0), pos)
+            if plan is not None:
+                asm.emit((isa.LOOP_VEC, plan, lexit), pos)
+            lcond = asm.label()
+            asm.mark(lcond)
+            if self.count_steps:
+                # Loop iterations count as steps even with an empty body,
+                # matching the tree-walker's per-iteration accounting.
+                asm.emit((isa.STEP,), pos)
+            if stmt.cond is not None:
+                if stmt.cond_kind == "TIL":
+                    self._branch_true(stmt.cond, scope, asm, lexit)
+                else:
+                    self._branch_false(stmt.cond, scope, asm, lexit)
+                asm.end_stmt()
+            asm.break_stack.append((lexit, asm.txt_depth))
+            try:
+                self._block(stmt.body, scope, asm)
+            finally:
+                asm.break_stack.pop()
+            if cslot >= 0:
+                step = 1 if stmt.op == "UPPIN" else -1
+                asm.emit((isa.INC_JMP, cslot, step, lcond), pos)
+            elif stmt.cond is not None:
+                asm.emit((isa.JMP, lcond), pos)
+            else:
+                asm.emit((isa.NOLOOP, stmt.label), pos)
+            asm.mark(lexit)
+        finally:
+            scope.pop()
+        hi = scope.layout.n_slots
+        if hi > lo:
+            asm.code[reset_pc] = (isa.RESET, lo, hi, [UNDECLARED] * (hi - lo))
+
+    def _stmt_gtfo(self, stmt: ast.Gtfo, scope: ScopeStack, asm: _Asm) -> None:
+        if asm.break_stack:
+            lexit, entry_depth = asm.break_stack[-1]
+            for _ in range(asm.txt_depth - entry_depth):
+                asm.emit((isa.TXT_POP,), stmt.pos)
+            asm.emit((isa.JMP, lexit), stmt.pos)
+        elif asm.is_function:
+            asm.emit((isa.RETC, None), stmt.pos)  # GTFO in a function: NOOB
+        else:
+            asm.emit((isa.RAISE_BREAK,), stmt.pos)
+
+    def _stmt_func_def(self, stmt: ast.FuncDef, scope: ScopeStack, asm: _Asm) -> None:
+        vmf = self._function_stub(stmt)
+        asm.emit((isa.DEF, stmt.name, (vmf,)), stmt.pos)
+
+    def _stmt_return(self, stmt: ast.Return, scope: ScopeStack, asm: _Asm) -> None:
+        reg = self._expr_reg(stmt.expr, scope, asm)
+        if asm.is_function:
+            asm.emit((isa.RET, reg), stmt.pos)
+        else:
+            # FOUND YR outside a function: propagate like the tree-walker
+            # (an uncaught _Return ends the program).
+            asm.emit((isa.RAISE_RETURN, reg), stmt.pos)
+
+    def _stmt_hugz(self, stmt: ast.Hugz, scope: ScopeStack, asm: _Asm) -> None:
+        asm.emit((isa.BARRIER,), stmt.pos)
+
+    def _stmt_lock(self, stmt: ast.LockStmt, scope: ScopeStack, asm: _Asm) -> None:
+        kind = {"lock": isa.LOCK_SET, "trylock": isa.LOCK_TEST}.get(
+            stmt.kind, isa.LOCK_CLEAR
+        )
+        if isinstance(stmt.target, ast.VarRef):
+            asm.emit((isa.LOCKOP, kind, stmt.target.name), stmt.pos)
+        else:
+            reg = self._expr_reg(stmt.target.expr, scope, asm)
+            asm.emit((isa.LOCKOPD, kind, reg), stmt.pos)
+
+    def _stmt_txt(self, stmt: ast.TxtStmt, scope: ScopeStack, asm: _Asm) -> None:
+        reg = self._expr_reg(stmt.pe, scope, asm)
+        asm.emit((isa.TXT_PUSH, reg), stmt.pos)
+        asm.end_stmt()
+        asm.txt_depth += 1
+        try:
+            # No child scope: TXT bodies run in the enclosing environment.
+            self._block(stmt.body, scope, asm)
+        finally:
+            asm.txt_depth -= 1
+        asm.emit((isa.TXT_POP,), stmt.pos)
+
+    _STMT_DISPATCH = {
+        ast.VarDecl: _stmt_var_decl,
+        ast.Assign: _stmt_assign,
+        ast.CastStmt: _stmt_cast,
+        ast.ExprStmt: _stmt_expr,
+        ast.Visible: _stmt_visible,
+        ast.Gimmeh: _stmt_gimmeh,
+        ast.CanHas: _stmt_can_has,
+        ast.If: _stmt_if,
+        ast.Switch: _stmt_switch,
+        ast.Loop: _stmt_loop,
+        ast.Gtfo: _stmt_gtfo,
+        ast.FuncDef: _stmt_func_def,
+        ast.Return: _stmt_return,
+        ast.Hugz: _stmt_hugz,
+        ast.LockStmt: _stmt_lock,
+        ast.TxtStmt: _stmt_txt,
+    }
+
+    # -- conditions -------------------------------------------------------
+
+    def _branch_true(self, cond, scope: ScopeStack, asm: _Asm, target: Label) -> None:
+        self._branch(cond, scope, asm, target, _BR_TRUE, isa.JT)
+
+    def _branch_false(self, cond, scope: ScopeStack, asm: _Asm, target: Label) -> None:
+        self._branch(cond, scope, asm, target, _BR_FALSE, isa.JF)
+
+    def _branch(self, cond, scope, asm, target, table, generic_op) -> None:
+        if isinstance(cond, ast.BinOp) and cond.op in table and not self.count_flops:
+            ss_op, sc_op = table[cond.op]
+            ls = self._operand(cond.lhs, scope)
+            rs = self._operand(cond.rhs, scope)
+            if ls is not None and ls[0] == "r":
+                if rs is not None and rs[0] == "c" and type(rs[1]) in (int, float):
+                    asm.emit((sc_op, ls[1], rs[1], target), cond.pos)
+                    return
+                rreg = (
+                    rs[1] if rs is not None and rs[0] == "r"
+                    else self._expr_reg(cond.rhs, scope, asm)
+                )
+                asm.emit((ss_op, ls[1], rreg, target), cond.pos)
+                return
+            if (
+                ls is not None
+                and ls[0] == "c"
+                and type(ls[1]) in (int, float)
+                and rs is not None
+                and rs[0] == "r"
+            ):
+                # const OP slot == slot SWAP(OP) const; numeric literals
+                # never fail coercion, so error order is preserved.
+                swapped = table[_SWAP_REL[cond.op]]
+                asm.emit((swapped[1], rs[1], ls[1], target), cond.pos)
+                return
+        reg = self._expr_reg(cond, scope, asm)
+        asm.emit((generic_op, reg, target), cond.pos)
+
+    # -- expressions ------------------------------------------------------
+
+    def _operand(self, node, scope: ScopeStack):
+        """Recognize inlineable operands: ("c", value) or ("r", slot)."""
+        t = type(node)
+        if t in (ast.IntLit, ast.FloatLit, ast.TroofLit):
+            return ("c", node.value)
+        if t is ast.NoobLit:
+            return ("c", None)
+        if t is ast.StringLit and node.is_plain():
+            return ("c", node.plain_text())
+        if t is ast.ItRef:
+            return ("r", 0)
+        if t is ast.VarRef and node.qualifier != "UR":
+            info = scope.lookup(node.name)
+            if (
+                info is not None
+                and info.kind == LOCAL
+                and not info.is_array
+                and info.fallback is None
+            ):
+                return ("r", info.slot)
+        return None
+
+    def _is_scalar_read(self, node, scope: ScopeStack) -> bool:
+        """Reads whose value passes straight through (no array risk):
+        plain local scalar slots and IT."""
+        op = self._operand(node, scope)
+        return op is not None and op[0] == "r"
+
+    def _expr_reg(self, node, scope: ScopeStack, asm: _Asm) -> int:
+        """Compile ``node`` and return a register holding its value."""
+        op = self._operand(node, scope)
+        if op is not None:
+            if op[0] == "r":
+                return op[1]
+            reg = asm.temp()
+            asm.emit((isa.LOADC, reg, op[1]), node.pos)
+            return reg
+        reg = asm.temp()
+        self._expr(node, scope, asm, reg)
+        return reg
+
+    def _expr(self, node, scope: ScopeStack, asm: _Asm, dst: int) -> None:
+        """Compile ``node``, leaving its value in register ``dst``."""
+        method = self._EXPR_DISPATCH.get(type(node))
+        if method is None:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolRuntimeError,
+                        f"expression {type(node).__name__} not implemented",
+                        node.pos,
+                    ),
+                ),
+                node.pos,
+            )
+            return
+        method(self, node, scope, asm, dst)
+
+    def _expr_const(self, node, scope, asm: _Asm, dst: int) -> None:
+        asm.emit((isa.LOADC, dst, node.value), node.pos)
+
+    def _expr_noob(self, node, scope, asm: _Asm, dst: int) -> None:
+        asm.emit((isa.LOADC, dst, None), node.pos)
+
+    def _expr_string(self, node: ast.StringLit, scope, asm: _Asm, dst: int) -> None:
+        pos = node.pos
+        if node.is_plain():
+            asm.emit((isa.LOADC, dst, node.plain_text()), pos)
+            return
+        parts: list = []
+        for part in node.parts:
+            if isinstance(part, str):
+                parts.append(part)
+            else:
+                _, name = part
+                reg = asm.temp()
+                self._read_name(name, None, scope, asm, reg, pos)
+                parts.append(reg)
+        asm.emit((isa.INTERP, dst, tuple(parts)), pos)
+
+    def _expr_it(self, node, scope, asm: _Asm, dst: int) -> None:
+        if dst != 0:
+            asm.emit((isa.MOVE, dst, 0), node.pos)
+
+    def _expr_me(self, node, scope, asm: _Asm, dst: int) -> None:
+        asm.emit((isa.LOAD_ME, dst), node.pos)
+
+    def _expr_frenz(self, node, scope, asm: _Asm, dst: int) -> None:
+        asm.emit((isa.LOAD_NPES, dst), node.pos)
+
+    def _expr_random(self, node: ast.RandomExpr, scope, asm: _Asm, dst: int) -> None:
+        asm.emit((isa.RANDOM, dst, 0 if node.kind == "int" else 1), node.pos)
+
+    def _expr_binop(self, node: ast.BinOp, scope, asm: _Asm, dst: int) -> None:
+        pos = node.pos
+        fn = BINOP_FUNCS.get(node.op)
+        if fn is None:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolRuntimeError, f"unknown binary op {node.op!r}", pos
+                    ),
+                ),
+                pos,
+            )
+            return
+        cost = FLOP_COST.get(node.op, 0)
+        if self.count_flops and cost:
+            # FLOP accounting precedes operand evaluation, matching the
+            # closure engine's traced closures.
+            asm.emit((isa.FLOPS, cost), pos)
+        arith = _ARITH_OPS.get(node.op)
+        ls = self._operand(node.lhs, scope)
+        rs = self._operand(node.rhs, scope)
+        # Operands evaluate left-to-right into temps when not inlineable.
+        if ls is None:
+            lreg = asm.temp()
+            self._expr(node.lhs, scope, asm, lreg)
+            ls = ("r", lreg)
+        if rs is None:
+            rreg = asm.temp()
+            self._expr(node.rhs, scope, asm, rreg)
+            rs = ("r", rreg)
+        lk, lv = ls
+        rk, rv = rs
+        if arith is not None:
+            ss, sc, cs = arith
+            if lk == "r" and rk == "r":
+                asm.emit((ss, dst, lv, rv), pos)
+                return
+            if lk == "r" and type(rv) in (int, float):
+                asm.emit((sc, dst, lv, rv), pos)
+                return
+            if rk == "r" and type(lv) in (int, float):
+                asm.emit((cs, dst, lv, rv), pos)
+                return
+        if lk == "r" and rk == "r":
+            asm.emit((isa.BINOP, dst, fn, lv, rv), pos)
+        elif lk == "r":
+            asm.emit((isa.BINOP_SC, dst, fn, lv, rv), pos)
+        elif rk == "r":
+            asm.emit((isa.BINOP_CS, dst, fn, lv, rv), pos)
+        else:
+            reg = asm.temp()
+            asm.emit((isa.LOADC, reg, lv), pos)
+            asm.emit((isa.BINOP_SC, dst, fn, reg, rv), pos)
+
+    def _expr_unop(self, node: ast.UnaryOp, scope, asm: _Asm, dst: int) -> None:
+        pos = node.pos
+        fn = UNOP_FUNCS.get(node.op)
+        if fn is None:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolRuntimeError, f"unknown unary op {node.op!r}", pos
+                    ),
+                ),
+                pos,
+            )
+            return
+        cost = FLOP_COST.get(node.op, 0)
+        if self.count_flops and cost:
+            asm.emit((isa.FLOPS, cost), pos)
+        reg = self._expr_reg(node.operand, scope, asm)
+        fast = {"square": isa.SQUARE_S, "sqrt": isa.SQRT_S, "recip": isa.RECIP_S}.get(
+            node.op
+        )
+        if fast is not None:
+            asm.emit((fast, dst, reg), pos)
+        else:
+            asm.emit((isa.UNOP, dst, fn, reg), pos)
+
+    def _expr_naryop(self, node: ast.NaryOp, scope, asm: _Asm, dst: int) -> None:
+        pos = node.pos
+        fn = NARYOP_FUNCS.get(node.op)
+        if fn is None:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolRuntimeError, f"unknown n-ary op {node.op!r}", pos
+                    ),
+                ),
+                pos,
+            )
+            return
+        regs = tuple(self._expr_reg(e, scope, asm) for e in node.operands)
+        asm.emit((isa.NARY, dst, fn, regs), pos)
+
+    def _expr_cast(self, node: ast.Cast, scope, asm: _Asm, dst: int) -> None:
+        to_type = parse_type(node.to_type, node.pos)
+        reg = self._expr_reg(node.expr, scope, asm)
+        asm.emit((isa.CAST, dst, reg, (to_type,)), node.pos)
+
+    def _expr_var(self, node: ast.VarRef, scope, asm: _Asm, dst: int) -> None:
+        self._read_name(node.name, node.qualifier, scope, asm, dst, node.pos)
+
+    def _read_name(
+        self, name, qualifier, scope: ScopeStack, asm: _Asm, dst: int, pos
+    ) -> None:
+        if qualifier == "UR":
+            asm.emit((isa.GET, dst, name), pos)
+            return
+        info = scope.lookup(name)
+        if info is None or info.kind == MISSING:
+            asm.emit((isa.RAISE_ERR, _undeclared_raiser(name, pos)), pos)
+            return
+        if info.kind == SYMMETRIC:
+            asm.emit((isa.SYM_LD, dst, name, asm.cache_slot()), pos)
+            return
+        if info.is_array:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolTypeError,
+                        f"'{name}' is an array: index it with {name}'Z <expr>",
+                        pos,
+                    ),
+                ),
+                pos,
+            )
+            return
+        if info.kind == LOCAL:
+            if info.fallback is not None:
+                asm.emit((isa.FB_LD, dst, ({name: info}, name)), pos)
+            elif info.slot != dst:
+                asm.emit((isa.MOVE, dst, info.slot), pos)
+            return
+        asm.emit((isa.GLD, dst, info.slot, name), pos)
+
+    def _expr_srs(self, node: ast.SrsRef, scope, asm: _Asm, dst: int) -> None:
+        nreg = self._expr_reg(node.expr, scope, asm)
+        if node.qualifier == "UR":
+            asm.emit((isa.GETD, dst, nreg), node.pos)
+        else:
+            asm.emit((isa.DYN_LD, dst, nreg, (scope.snapshot(),)), node.pos)
+
+    def _expr_index(self, node: ast.Index, scope, asm: _Asm, dst: int) -> None:
+        pos = node.pos
+        base = node.base
+        if isinstance(base, ast.SrsRef):
+            nreg = self._expr_reg(base.expr, scope, asm)
+            ireg = self._expr_reg(node.index, scope, asm)
+            if base.qualifier == "UR":
+                asm.emit((isa.GETXD, dst, nreg, ireg), pos)
+            else:
+                asm.emit((isa.DYN_LDX, dst, nreg, ireg, (scope.snapshot(),)), pos)
+            return
+        name = base.name
+        if base.qualifier == "UR":
+            ireg = self._expr_reg(node.index, scope, asm)
+            asm.emit((isa.GETX, dst, name, ireg), pos)
+            return
+        info = scope.lookup(name)
+        if info is None:
+            # The index is *not* evaluated: the closure engine raises
+            # before touching it.
+            asm.emit((isa.RAISE_ERR, _undeclared_raiser(name, pos)), pos)
+            return
+        if info.kind == LOCAL and info.fallback is not None:
+            ireg = self._expr_reg(node.index, scope, asm)
+            asm.emit((isa.FB_LDX, dst, ireg, ({name: info}, name)), pos)
+            return
+        if info.kind == SYMMETRIC:
+            ireg = self._expr_reg(node.index, scope, asm)
+            asm.emit((isa.SYM_LDX, dst, name, ireg, asm.cache_slot()), pos)
+            return
+        if not info.is_array:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolTypeError, f"'{name}' is not an array", pos
+                    ),
+                ),
+                pos,
+            )
+            return
+        if info.kind == LOCAL:
+            ireg = self._expr_reg(node.index, scope, asm)
+            asm.emit((isa.LDX, dst, info.slot, ireg, name), pos)
+        else:
+            # The closure engine checks the global cell *before* touching
+            # the index expression; mirror that error order.
+            asm.emit((isa.GCHK, info.slot, name), pos)
+            ireg = self._expr_reg(node.index, scope, asm)
+            asm.emit((isa.GLDX, dst, info.slot, ireg, name), pos)
+
+    def _expr_call(self, node: ast.FuncCall, scope, asm: _Asm, dst: int) -> None:
+        pos = node.pos
+        # Lookup + arity check precede argument evaluation (the closure
+        # engine resolves the function object before evaluating args);
+        # the checked function is pinned in a slot so argument side
+        # effects cannot swap it.
+        freg = asm.temp()
+        asm.emit((isa.CHECK_FUNC, freg, node.name, len(node.args)), pos)
+        regs = tuple(self._expr_reg(a, scope, asm) for a in node.args)
+        asm.emit((isa.CALL, dst, freg, regs), pos)
+
+    _EXPR_DISPATCH = {
+        ast.IntLit: _expr_const,
+        ast.FloatLit: _expr_const,
+        ast.TroofLit: _expr_const,
+        ast.StringLit: _expr_string,
+        ast.NoobLit: _expr_noob,
+        ast.ItRef: _expr_it,
+        ast.MeExpr: _expr_me,
+        ast.FrenzExpr: _expr_frenz,
+        ast.RandomExpr: _expr_random,
+        ast.BinOp: _expr_binop,
+        ast.UnaryOp: _expr_unop,
+        ast.NaryOp: _expr_naryop,
+        ast.Cast: _expr_cast,
+        ast.VarRef: _expr_var,
+        ast.SrsRef: _expr_srs,
+        ast.Index: _expr_index,
+        ast.FuncCall: _expr_call,
+    }
+
+    # -- stores -----------------------------------------------------------
+
+    def _emit_store(self, target, scope: ScopeStack, asm: _Asm, vreg: int) -> None:
+        pos = target.pos
+        if isinstance(target, ast.Index):
+            self._emit_store_element(target, scope, asm, vreg)
+            return
+        if isinstance(target, ast.SrsRef):
+            nreg = self._expr_reg(target.expr, scope, asm)
+            if target.qualifier == "UR":
+                asm.emit((isa.PUTD, nreg, vreg), pos)
+            else:
+                asm.emit((isa.DYN_ST, nreg, vreg, (scope.snapshot(),)), pos)
+            return
+        if isinstance(target, ast.VarRef):
+            name = target.name
+            if target.qualifier == "UR":
+                asm.emit((isa.PUT, name, vreg), pos)
+                return
+            info = scope.lookup(name)
+            if info is None or info.kind == MISSING:
+                asm.emit((isa.RAISE_ERR, _undeclared_raiser(name, pos)), pos)
+                return
+            if info.kind == SYMMETRIC:
+                asm.emit((isa.SYM_ST, name, vreg, asm.cache_slot()), pos)
+                return
+            if info.kind == LOCAL and info.fallback is not None:
+                asm.emit((isa.FB_ST, vreg, ({name: info}, name)), pos)
+                return
+            if info.is_array:
+                op = isa.GST_ARR if info.kind == GLOBAL else isa.ST_ARR
+                asm.emit((op, info.slot, vreg, name), pos)
+                return
+            if info.kind == GLOBAL:
+                asm.emit((isa.GST, info.slot, vreg, (info.static_type, name)), pos)
+                return
+            if info.static_type is not None:
+                asm.emit(
+                    (isa.ST_TYPED, info.slot, vreg, (info.static_type, name)), pos
+                )
+            else:
+                asm.emit((isa.ST_DYN, info.slot, vreg, name), pos)
+            return
+        asm.emit(
+            (
+                isa.RAISE_ERR,
+                _message_raiser(LolRuntimeError, "invalid assignment target", pos),
+            ),
+            pos,
+        )
+
+    def _emit_store_element(
+        self, target: ast.Index, scope: ScopeStack, asm: _Asm, vreg: int
+    ) -> None:
+        pos = target.pos
+        base = target.base
+        if isinstance(base, ast.SrsRef):
+            nreg = self._expr_reg(base.expr, scope, asm)
+            ireg = self._expr_reg(target.index, scope, asm)
+            if base.qualifier == "UR":
+                asm.emit((isa.PUTXD, nreg, ireg, vreg), pos)
+            else:
+                asm.emit(
+                    (isa.DYN_STX, nreg, ireg, vreg, (scope.snapshot(),)), pos
+                )
+            return
+        name = base.name
+        if base.qualifier == "UR":
+            ireg = self._expr_reg(target.index, scope, asm)
+            asm.emit((isa.PUTX, name, ireg, vreg), pos)
+            return
+        info = scope.lookup(name)
+        if info is None:
+            asm.emit((isa.RAISE_ERR, _undeclared_raiser(name, pos)), pos)
+            return
+        if info.kind == LOCAL and info.fallback is not None:
+            ireg = self._expr_reg(target.index, scope, asm)
+            asm.emit((isa.FB_STX, ireg, vreg, ({name: info}, name)), pos)
+            return
+        if info.kind == SYMMETRIC:
+            ireg = self._expr_reg(target.index, scope, asm)
+            asm.emit((isa.SYM_STX, name, ireg, vreg, asm.cache_slot()), pos)
+            return
+        if not info.is_array:
+            asm.emit(
+                (
+                    isa.RAISE_ERR,
+                    _message_raiser(
+                        LolTypeError, f"'{name}' is not an array", pos
+                    ),
+                ),
+                pos,
+            )
+            return
+        elem_t = info.static_type or LolType.NUMBAR
+        if info.kind == GLOBAL:
+            asm.emit((isa.GCHK, info.slot, name), pos)
+            ireg = self._expr_reg(target.index, scope, asm)
+            asm.emit((isa.GSTX, info.slot, ireg, vreg, (elem_t, name)), pos)
+        else:
+            ireg = self._expr_reg(target.index, scope, asm)
+            asm.emit((isa.STX, info.slot, ireg, vreg, (name, elem_t)), pos)
+
+
+def compile_program_vm(
+    program: ast.Program,
+    *,
+    count_flops: bool = False,
+    count_steps: bool = False,
+    vectorize: bool = True,
+) -> VMProgram:
+    """Compile ``program`` once; the result is shareable across PEs."""
+    return VMCompiler(
+        program,
+        count_flops=count_flops,
+        count_steps=count_steps,
+        vectorize=vectorize,
+    ).compile()

@@ -1,0 +1,1047 @@
+"""Loop vectorization for the VM engine (the ``LOOP_VEC`` instruction).
+
+:func:`try_vectorize` analyses one counted ``IM IN YR`` loop at compile
+time.  When every statement of the body is a scalar declaration or an
+assignment whose value is an affine/elementwise expression over the
+loop counter, loop-invariant locals, and numpy-backed arrays, it
+returns a :class:`VecPlan`: a small register program the machine
+executes with numpy slice operations instead of ``n`` trips through the
+dispatch loop.  Anything outside the model returns ``None`` and the
+loop compiles scalar-only.
+
+:func:`run_vec` executes a plan at runtime.  It is *guarded*: every
+value-dependent precondition (integral trip counts, array bounds, int64
+magnitudes, sqrt/recip domains, operand types) is checked **before any
+state is mutated**; a failed guard returns ``False`` and the machine
+falls through to the scalar loop, which reproduces exact tree-walker
+semantics — including whatever error the guard was protecting against.
+Commits are two-phase (compute everything, materialize copies, then
+write), so a bail can never leave partial effects behind.
+
+Bit-identity with the scalar engines is the design constraint, not an
+aspiration:
+
+* float64 ``+ - *`` and sqrt are IEEE correctly rounded in both numpy
+  and CPython, and elementwise vector ops mirror the scalar expression
+  tree one operation to one operation — nothing is ever reassociated;
+* affine ``base + coeff*i`` algebra (which *does* reassociate) is kept
+  exact by allowing only integer coefficients and validating integer
+  bases at every runtime consumer;
+* int64 arithmetic is exact under the ``2**30`` magnitude guards
+  (products stay under ``2**60``, conversions under ``2**53``);
+* reductions run as sequential Python folds over the real operator
+  kernels (float addition is not associative);
+* float -> NUMBR casts use numpy's C truncation, which is exactly
+  ``to_numbr``'s ``int()``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..interp.env import UNDECLARED
+from ..interp.values import (
+    _op_add,
+    _op_mul,
+    _op_recip,
+    _op_sqrt,
+    _op_square,
+    _op_sub,
+)
+from ..lang import ast
+from ..lang.resolve import LOCAL, MISSING, SYMMETRIC
+from ..lang.types import LolType, coerce_static, default_value, parse_type
+from ..shmem.heap import ArrayCell
+
+#: int64 magnitude bound for every integer vector (and every scalar fed
+#: into one).  Keeps products exact in int64 and int->float casts exact.
+_MAXI = 1 << 30
+#: trip-count cap: bounds transient memory (~32 MiB of float64).
+_CAP = 1 << 22
+
+_NUMBR = LolType.NUMBR
+_NUMBAR = LolType.NUMBAR
+
+_SBIN = {"add": _op_add, "sub": _op_sub, "mul": _op_mul}
+_SUN = {"square": _op_square, "sqrt": _op_sqrt, "recip": _op_recip}
+
+
+class _Bail(Exception):
+    """Internal: this loop (or this execution of it) must stay scalar."""
+
+
+class VecPlan:
+    """A compiled vector execution plan for one counted loop.
+
+    ``limit_prog`` computes the trip-count operand (invariant scalars
+    only); ``prog`` computes every per-iteration value as length-``n``
+    vectors or invariant scalars; ``commits`` describes the writes
+    applied after every guard has passed.
+    """
+
+    __slots__ = (
+        "mode",
+        "limit",
+        "limit_prog",
+        "prog",
+        "commits",
+        "n_regs",
+        "cslot",
+    )
+
+    def __init__(self, mode, limit, limit_prog, prog, commits, n_regs, cslot):
+        self.mode = mode  # "eq" (TIL BOTH SAEM) | "lt" (WILE SMALLR)
+        self.limit = limit
+        self.limit_prog = limit_prog
+        self.prog = prog
+        self.commits = commits
+        self.n_regs = n_regs
+        self.cslot = cslot
+
+    def __repr__(self) -> str:  # deterministic — appears in loldis output
+        return (
+            f"vec({self.mode}, ops={len(self.limit_prog) + len(self.prog)}, "
+            f"commits={len(self.commits)}, regs={self.n_regs})"
+        )
+
+
+class _Arr:
+    """Per-array analysis state: hazard keys and pending writes."""
+
+    __slots__ = ("reg", "kind", "elem", "reads", "read1", "writes", "folded")
+
+    def __init__(self, reg: int, kind: str, elem: LolType) -> None:
+        self.reg = reg
+        self.kind = kind  # "i" | "f" — int64 / float64 backing
+        self.elem = elem
+        self.reads: dict = {}  # slice-read key -> reg
+        self.read1: dict = {}  # invariant-element-read key -> reg
+        self.writes: dict = {}  # key -> (base_op, coeff, symval) | "fold"
+        self.folded = False
+
+
+class _Analyzer:
+    """Symbolic walk of one loop body.
+
+    Symbolic values (``symval``):
+
+    * ``("c", v)`` — compile-time constant;
+    * ``("r", reg)`` — loop-invariant runtime scalar;
+    * ``("v", reg)`` — length-``n`` vector, element per iteration;
+    * ``("aff", base, coeff)`` — ``base + coeff*i`` with integer
+      ``coeff`` and ``base`` an operand ``("c", int)`` or ``("r", reg)``
+      (a runtime base is validated as ``int`` by every consumer whose
+      exactness depends on it).
+
+    Raises :class:`_Bail` on the first construct outside the model.
+    """
+
+    def __init__(self, scope, compiler, cslot: int) -> None:
+        self.scope = scope
+        self.compiler = compiler
+        self.cslot = cslot
+        self.prog: list = []
+        self.n_regs = 0
+        self.slot_regs: dict = {}  # slot -> reg, memoized invariant reads
+        self.me_reg = None
+        self.np_reg = None
+        self.sym_regs: dict = {}  # symmetric scalar name -> reg
+        self.arr_regs: dict = {}  # aref -> _Arr
+        self.env: dict = {}  # slot -> symval assigned this iteration
+        self.folds: dict = {}  # slot -> fold reg (accumulators)
+        self.inv_reads: set = set()  # slots read as loop-invariant
+        self.frozen: set = set()  # slots the body must not assign
+        self.decl_seen: set = set()  # slots declared by the body so far
+        self.decl_types: dict = {}  # decl name -> LolType | None
+        self.commits: list = []
+        self.in_limit = False
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _reg(self) -> int:
+        r = self.n_regs
+        self.n_regs += 1
+        return r
+
+    def _emit(self, op: tuple) -> None:
+        self.prog.append(op)
+
+    @staticmethod
+    def _opnd(sym):
+        """symval -> runtime operand (vectors/scalars share ``("r", reg)``)."""
+        k = sym[0]
+        if k == "c":
+            return ("c", sym[1])
+        if k in ("r", "v"):
+            return ("r", sym[1])
+        raise _Bail
+
+    @staticmethod
+    def _is_int(v) -> bool:
+        return type(v) is int  # bool deliberately excluded
+
+    def _is_counter(self, node) -> bool:
+        if not isinstance(node, ast.VarRef) or node.qualifier == "UR":
+            return False
+        info = self.scope.lookup(node.name)
+        return (
+            info is not None
+            and info.kind == LOCAL
+            and not info.is_array
+            and info.slot == self.cslot
+        )
+
+    # ------------------------------------------------------------------
+    # entry point
+
+    def build(self, stmt: ast.Loop) -> VecPlan:
+        cond = stmt.cond
+        if not isinstance(cond, ast.BinOp):
+            raise _Bail
+        if stmt.cond_kind == "TIL" and cond.op == "eq":
+            if self._is_counter(cond.lhs):
+                limit_node = cond.rhs
+            elif self._is_counter(cond.rhs):
+                limit_node = cond.lhs
+            else:
+                raise _Bail
+            mode = "eq"
+        elif (
+            stmt.cond_kind == "WILE"
+            and cond.op == "lt"
+            and self._is_counter(cond.lhs)
+        ):
+            limit_node = cond.rhs
+            mode = "lt"
+        else:
+            raise _Bail
+        # The scalar loop re-evaluates the condition every iteration, so
+        # the limit must be invariant: constants, plain local scalars,
+        # ME / MAH FRENZ, and + - * over those.  Every slot it reads is
+        # frozen against body writes.
+        self.in_limit = True
+        lim = self._expr(limit_node)
+        self.in_limit = False
+        if lim[0] not in ("c", "r"):
+            raise _Bail
+        limit_prog = self.prog
+        self.prog = []
+        self.frozen = set(self.slot_regs) | {self.cslot}
+        for s in stmt.body:
+            self._stmt(s)
+        self._finalize_array_commits()
+        for slot in sorted(self.env):
+            self.commits.append(("set", slot, self._commit_src(self.env[slot])))
+        return VecPlan(
+            mode,
+            self._opnd(lim),
+            tuple(limit_prog),
+            tuple(self.prog),
+            tuple(self.commits),
+            self.n_regs,
+            self.cslot,
+        )
+
+    def _commit_src(self, sym):
+        k = sym[0]
+        if k == "c":
+            return ("c", sym[1])
+        if k == "r":
+            return ("r", sym[1])
+        if k == "v":
+            return ("last", sym[1])
+        return ("afflast", sym[1], sym[2])  # base + coeff*(n-1)
+
+    def _finalize_array_commits(self) -> None:
+        for aref in sorted(self.arr_regs):
+            st = self.arr_regs[aref]
+            for key, pend in st.writes.items():
+                if pend == "fold":
+                    continue  # the fold already appended its ("w1", ...)
+                base_op, coeff, sym = pend
+                if coeff == 0:
+                    self.commits.append(
+                        ("w1", st.reg, base_op, self._commit_src(sym))
+                    )
+                    continue
+                if sym[0] == "aff":
+                    sym = ("v", self._materialize(sym))
+                self.commits.append(
+                    ("wslice", st.reg, base_op, coeff, self._opnd(sym))
+                )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _stmt(self, s) -> None:
+        t = type(s)
+        if t is ast.Assign:
+            self._assign(s)
+        elif t is ast.VarDecl:
+            self._decl(s)
+        else:
+            raise _Bail
+
+    def _decl(self, s: ast.VarDecl) -> None:
+        if s.scope != "I" or s.is_array or s.shared_lock:
+            raise _Bail
+        # parse_type errors propagate: the scalar compile of this decl
+        # raises the identical compile-time error.
+        declared = parse_type(s.static_type, s.pos) if s.static_type else None
+        if declared is not None and declared not in (_NUMBR, _NUMBAR):
+            raise _Bail
+        info = self.scope.lookup(s.name)
+        if info is None or info.kind != LOCAL or info.is_array:
+            raise _Bail
+        slot = info.slot
+        if slot in self.frozen or slot in self.folds or slot in self.inv_reads:
+            raise _Bail
+        prev_t = self.decl_types.get(s.name, info.static_type)
+        if prev_t is not declared:
+            raise _Bail  # re-declaration with a new type moves the slot
+        self.decl_types[s.name] = declared
+        if s.init is None:
+            sym = ("c", default_value(declared) if declared else None)
+        else:
+            sym = self._expr(s.init)
+            if slot in self.inv_reads:
+                raise _Bail  # the initializer read the old binding
+            if declared is not None:
+                sym = self._coerce(sym, declared, s.name)
+        self.env[slot] = sym
+        self.decl_seen.add(slot)
+
+    def _assign(self, s: ast.Assign) -> None:
+        target = s.target
+        if isinstance(target, ast.VarRef):
+            self._assign_slot(s, target)
+        elif isinstance(target, ast.Index):
+            self._assign_element(s, target)
+        else:
+            raise _Bail  # SRS computed names stay scalar
+
+    def _assign_slot(self, s: ast.Assign, target: ast.VarRef) -> None:
+        if target.qualifier == "UR":
+            raise _Bail
+        info = self.scope.lookup(target.name)
+        if info is None or info.kind != LOCAL or info.is_array:
+            raise _Bail
+        slot = info.slot
+        if slot in self.frozen or slot in self.folds:
+            raise _Bail
+        if info.fallback is not None and slot not in self.decl_seen:
+            raise _Bail  # pre-declaration store hits the outer binding
+        st_type = info.static_type
+        if st_type is not None and st_type not in (_NUMBR, _NUMBAR):
+            raise _Bail
+        value = s.value
+        # Recurrence accumulator ``s R SUM OF s AN <v>`` with ``s``
+        # otherwise untouched: a sequential fold over the operator
+        # kernel, preserving float non-associativity bit for bit.
+        if (
+            isinstance(value, ast.BinOp)
+            and value.op in _SBIN
+            and isinstance(value.lhs, ast.VarRef)
+            and value.lhs.qualifier != "UR"
+            and slot not in self.env
+            and slot not in self.inv_reads
+            and info.fallback is None
+        ):
+            lhs_info = self.scope.lookup(value.lhs.name)
+            if (
+                lhs_info is not None
+                and lhs_info.kind == LOCAL
+                and not lhs_info.is_array
+                and lhs_info.slot == slot
+            ):
+                opnd = self._fold_operand(value.rhs, slot)
+                coerce = ("static", st_type, target.name) if st_type else None
+                reg = self._reg()
+                self._emit(
+                    ("fold", reg, value.op, ("slot", slot), opnd, coerce)
+                )
+                self.folds[slot] = reg
+                self.commits.append(("set", slot, ("r", reg)))
+                return
+        sym = self._expr(value)
+        if slot in self.inv_reads:
+            raise _Bail  # read-before-write: a cross-iteration recurrence
+        if st_type is not None:
+            sym = self._coerce(sym, st_type, target.name)
+        self.env[slot] = sym
+
+    def _fold_operand(self, node, acc_slot: int):
+        sym = self._expr(node)
+        if acc_slot in self.inv_reads:
+            raise _Bail  # the operand itself read the accumulator
+        if sym[0] == "aff":
+            sym = ("v", self._materialize(sym))
+        return self._opnd(sym)
+
+    def _assign_element(self, s: ast.Assign, target: ast.Index) -> None:
+        st = self._array(target.base)
+        if st.folded:
+            raise _Bail
+        base_op, coeff = self._aff_index(target.index)
+        key = (coeff, base_op)
+        value = s.value
+        # Element accumulator at an invariant index (nbody's force
+        # accumulation): ``A'Z k R SUM OF A'Z k AN <v>``.
+        if (
+            coeff == 0
+            and isinstance(value, ast.BinOp)
+            and value.op in _SBIN
+            and isinstance(value.lhs, ast.Index)
+            and self._same_element(value.lhs, target, st, key)
+        ):
+            opnd = self._fold_operand(value.rhs, -1)
+            # Any access to this array recorded so far (including ones
+            # the operand just made) could observe the evolving element
+            # mid-loop, so the fold requires a completely private array.
+            if not st.reads and not st.read1 and not st.writes:
+                reg = self._reg()
+                self._emit(
+                    (
+                        "fold",
+                        reg,
+                        value.op,
+                        ("elem", st.reg, base_op),
+                        opnd,
+                        ("static", st.elem, "<element>"),
+                    )
+                )
+                st.folded = True
+                st.writes[key] = "fold"
+                self.commits.append(("w1", st.reg, base_op, ("r", reg)))
+                return
+            raise _Bail
+        # Evaluate the value FIRST: reads it makes on this array are
+        # hazards of this write too, and must be visible to the checks.
+        sym = self._coerce(self._expr(value), st.elem, "<element>")
+        for k in st.writes:
+            if k != key:
+                raise _Bail  # two write streams could interleave
+        for k in st.reads:
+            if k != key:
+                raise _Bail  # earlier iterations' writes feed that read
+        if st.read1:
+            raise _Bail  # hoisted element read vs. an evolving array
+        if coeff == 0 and st.reads:
+            raise _Bail  # slice read of an element overwritten each trip
+        st.writes[key] = (base_op, coeff, sym)
+
+    def _same_element(self, read: ast.Index, write: ast.Index, st, key) -> bool:
+        base = read.base
+        wbase = write.base
+        if (
+            not isinstance(base, ast.VarRef)
+            or base.qualifier == "UR"
+            or not isinstance(wbase, ast.VarRef)
+            or base.name != wbase.name
+        ):
+            return False
+        if self._array(base) is not st:
+            return False
+        rbase, rcoeff = self._aff_index(read.index)
+        return (rcoeff, rbase) == key
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _expr(self, node):
+        t = type(node)
+        if t is ast.VarRef:
+            return self._read_var(node)
+        if t is ast.Index:
+            if self.in_limit:
+                raise _Bail
+            return self._read_element(node)
+        if t is ast.BinOp:
+            if node.op not in _SBIN:
+                raise _Bail
+            a = self._expr(node.lhs)
+            b = self._expr(node.rhs)
+            return self._bin(node.op, a, b)
+        if t is ast.UnaryOp:
+            if node.op not in _SUN or self.in_limit:
+                raise _Bail
+            return self._un(node.op, self._expr(node.operand))
+        if t is ast.IntLit or t is ast.FloatLit or t is ast.TroofLit:
+            return ("c", node.value)
+        if t is ast.NoobLit:
+            return ("c", None)
+        if t is ast.StringLit:
+            if node.is_plain():
+                return ("c", node.plain_text())
+            raise _Bail
+        if t is ast.ItRef:
+            return self._read_slot(0, None)
+        if t is ast.MeExpr:
+            if self.me_reg is None:
+                self.me_reg = self._reg()
+                self._emit(("me", self.me_reg))
+            return ("r", self.me_reg)
+        if t is ast.FrenzExpr:
+            if self.np_reg is None:
+                self.np_reg = self._reg()
+                self._emit(("np", self.np_reg))
+            return ("r", self.np_reg)
+        raise _Bail  # RandomExpr, casts, calls, SRS, n-ary: stay scalar
+
+    def _read_var(self, node: ast.VarRef):
+        if node.qualifier == "UR":
+            raise _Bail
+        info = self.scope.lookup(node.name)
+        if info is None or info.kind == MISSING:
+            raise _Bail
+        if info.kind == SYMMETRIC:
+            # One hoisted read of the own-PE cell standing for n reads is
+            # a valid interleaving (run_vec requires the race detector
+            # off, and symmetric *writes* always bail).
+            if self.in_limit or info.is_array:
+                raise _Bail
+            reg = self.sym_regs.get(node.name)
+            if reg is None:
+                reg = self._reg()
+                self._emit(("symrd", reg, node.name))
+                self.sym_regs[node.name] = reg
+            return ("r", reg)
+        if info.kind != LOCAL or info.is_array:
+            raise _Bail  # function-frame globals / whole arrays: scalar
+        if info.slot == self.cslot:
+            if self.in_limit:
+                raise _Bail
+            return ("aff", ("c", 0), 1)
+        return self._read_slot(info.slot, info)
+
+    def _read_slot(self, slot: int, info):
+        if slot in self.folds:
+            raise _Bail
+        sym = self.env.get(slot)
+        if sym is not None:
+            return sym
+        if info is not None and info.fallback is not None:
+            raise _Bail  # value depends on whether the decl ran yet
+        reg = self.slot_regs.get(slot)
+        if reg is None:
+            reg = self._reg()
+            self._emit(("slot", reg, slot))
+            self.slot_regs[slot] = reg
+        self.inv_reads.add(slot)
+        return ("r", reg)
+
+    def _array(self, base) -> _Arr:
+        if not isinstance(base, ast.VarRef) or base.qualifier == "UR":
+            raise _Bail
+        info = self.scope.lookup(base.name)
+        if info is None or info.kind == MISSING:
+            raise _Bail
+        if info.kind == SYMMETRIC:
+            if not info.is_array:
+                raise _Bail
+            aref = ("sym", base.name)
+            elem = info.static_type
+        elif info.kind == LOCAL and info.is_array and info.fallback is None:
+            aref = ("slot", info.slot)
+            elem = info.static_type or _NUMBAR  # dynamic arrays are NUMBAR
+        else:
+            raise _Bail
+        st = self.arr_regs.get(aref)
+        if st is None:
+            if elem is _NUMBR:
+                kind = "i"
+            elif elem is _NUMBAR:
+                kind = "f"
+            else:
+                raise _Bail  # TROOF/YARN arrays stay scalar
+            reg = self._reg()
+            self._emit(("arr", reg, aref[0], aref[1], kind))
+            st = _Arr(reg, kind, elem)
+            self.arr_regs[aref] = st
+        return st
+
+    def _aff_index(self, node):
+        """Index expression -> ``(base_operand, coeff)``, integer coeff."""
+        sym = self._expr(node)
+        k = sym[0]
+        if k == "c":
+            if type(sym[1]) is not int:
+                raise _Bail
+            return ("c", sym[1]), 0
+        if k == "r":
+            return ("r", sym[1]), 0
+        if k == "aff" and sym[2] >= 1:
+            return sym[1], sym[2]
+        raise _Bail  # data-dependent (gather/scatter) indexing: scalar
+
+    def _read_element(self, node: ast.Index):
+        st = self._array(node.base)
+        if st.folded:
+            raise _Bail
+        base_op, coeff = self._aff_index(node.index)
+        key = (coeff, base_op)
+        pend = st.writes.get(key)
+        if pend is not None:
+            if pend == "fold":
+                raise _Bail
+            return pend[2]  # same-iteration read-after-write, coerced
+        for k in st.writes:
+            if k != key:
+                raise _Bail
+        if coeff == 0:
+            reg = st.read1.get(key)
+            if reg is None:
+                reg = self._reg()
+                self._emit(("read1", reg, st.reg, base_op))
+                st.read1[key] = reg
+            return ("r", reg)
+        reg = st.reads.get(key)
+        if reg is None:
+            reg = self._reg()
+            self._emit(("read", reg, st.reg, base_op, coeff))
+            st.reads[key] = reg
+        return ("v", reg)
+
+    # ------------------------------------------------------------------
+    # symbolic arithmetic
+
+    def _materialize(self, aff) -> int:
+        """aff -> iota vector register (runtime-validates an int base)."""
+        reg = self._reg()
+        self._emit(("iota", reg, aff[1], aff[2]))
+        return reg
+
+    def _base_add(self, base, k: int):
+        if base[0] == "c":
+            return ("c", base[1] + k)
+        if k == 0:
+            return base
+        reg = self._reg()
+        self._emit(("sbin", reg, "add", base, ("c", k)))
+        return ("r", reg)
+
+    def _bin(self, op: str, a, b):
+        ka, kb = a[0], b[0]
+        if ka == "c" and kb == "c":
+            try:
+                return ("c", _SBIN[op](a[1], b[1], None))
+            except Exception as exc:  # noqa: BLE001 — let scalar raise it
+                raise _Bail from exc
+        if ka == "aff" or kb == "aff":
+            sym = self._bin_aff(op, a, b)
+            if sym is not None:
+                return sym
+            if ka == "aff":
+                a = ("v", self._materialize(a))
+            if kb == "aff":
+                b = ("v", self._materialize(b))
+            ka, kb = a[0], b[0]
+        if ka != "v" and kb != "v":
+            reg = self._reg()
+            self._emit(("sbin", reg, op, self._opnd(a), self._opnd(b)))
+            return ("r", reg)
+        if (ka == "c" and not _numeric(a[1])) or (
+            kb == "c" and not _numeric(b[1])
+        ):
+            raise _Bail  # YARN/TROOF operands coerce per element: scalar
+        reg = self._reg()
+        self._emit(("bin", reg, op, self._opnd(a), self._opnd(b)))
+        return ("v", reg)
+
+    def _bin_aff(self, op: str, a, b):
+        """Affine algebra; ``None`` means materialize and go elementwise.
+
+        Reassociating is only exact for integers, so every rewrite here
+        either stays in compile-time int constants or lands in a base
+        register whose downstream consumers (iota, slice bases, afflast)
+        validate ``int`` at runtime and bail on floats.
+        """
+        if a[0] == "aff" and b[0] == "aff":
+            if op == "mul":
+                return None
+            base = self._base_combine(op, a[1], b[1])
+            coeff = a[2] + b[2] if op == "add" else a[2] - b[2]
+            return ("aff", base, coeff)
+        if a[0] == "aff" and b[0] == "c" and self._is_int(b[1]):
+            if op == "add":
+                return ("aff", self._base_add(a[1], b[1]), a[2])
+            if op == "sub":
+                return ("aff", self._base_add(a[1], -b[1]), a[2])
+            base = a[1]  # mul: (base + c*i) * k = base*k + (c*k)*i
+            if base[0] == "c":
+                return ("aff", ("c", base[1] * b[1]), a[2] * b[1])
+            reg = self._reg()
+            self._emit(("sbin", reg, "mul", base, ("c", b[1])))
+            return ("aff", ("r", reg), a[2] * b[1])
+        if b[0] == "aff" and a[0] == "c" and self._is_int(a[1]):
+            if op == "add":
+                return ("aff", self._base_add(b[1], a[1]), b[2])
+            if op == "sub":  # k - (base + c*i) = (k - base) - c*i
+                base = b[1]
+                if base[0] == "c":
+                    nbase = ("c", a[1] - base[1])
+                else:
+                    reg = self._reg()
+                    self._emit(("sbin", reg, "sub", ("c", a[1]), base))
+                    nbase = ("r", reg)
+                return ("aff", nbase, -b[2])
+            base = b[1]  # mul
+            if base[0] == "c":
+                return ("aff", ("c", a[1] * base[1]), a[1] * b[2])
+            reg = self._reg()
+            self._emit(("sbin", reg, "mul", ("c", a[1]), base))
+            return ("aff", ("r", reg), a[1] * b[2])
+        # Runtime-scalar add/sub keeps affinity (heat2d's row*cols + c).
+        if a[0] == "aff" and b[0] == "r" and op in ("add", "sub"):
+            reg = self._reg()
+            self._emit(("sbin", reg, op, a[1], ("r", b[1])))
+            return ("aff", ("r", reg), a[2])
+        if b[0] == "aff" and a[0] == "r" and op == "add":
+            reg = self._reg()
+            self._emit(("sbin", reg, "add", ("r", a[1]), b[1]))
+            return ("aff", ("r", reg), b[2])
+        return None
+
+    def _base_combine(self, op: str, x, y):
+        if x[0] == "c" and y[0] == "c":
+            return ("c", x[1] + y[1] if op == "add" else x[1] - y[1])
+        reg = self._reg()
+        self._emit(("sbin", reg, op, x, y))
+        return ("r", reg)
+
+    def _un(self, op: str, a):
+        k = a[0]
+        if k == "c":
+            try:
+                return ("c", _SUN[op](a[1], None))
+            except Exception as exc:  # noqa: BLE001 — let scalar raise it
+                raise _Bail from exc
+        if k == "r":
+            reg = self._reg()
+            self._emit(("sun", reg, op, ("r", a[1])))
+            return ("r", reg)
+        if k == "aff":
+            a = ("v", self._materialize(a))
+        reg = self._reg()
+        self._emit(("un", reg, op, a[1]))
+        return ("v", reg)
+
+    def _coerce(self, sym, declared: LolType, name: str):
+        """Static-type store coercion (``ITZ SRSLY A`` / array elements)."""
+        k = sym[0]
+        if k == "c":
+            try:
+                return ("c", coerce_static(sym[1], declared, name, None))
+            except Exception as exc:  # noqa: BLE001 — let scalar raise it
+                raise _Bail from exc
+        if k == "r":
+            reg = self._reg()
+            self._emit(("scast", reg, ("r", sym[1]), declared, name))
+            return ("r", reg)
+        if k == "aff":
+            if declared is _NUMBR and sym[1][0] == "c":
+                return sym  # provably integer already
+            sym = ("v", self._materialize(sym))
+        reg = self._reg()
+        self._emit(("cast", reg, sym[1], "i" if declared is _NUMBR else "f"))
+        return ("v", reg)
+
+
+def _numeric(v) -> bool:
+    t = type(v)
+    return t is int or t is float
+
+
+def try_vectorize(stmt: ast.Loop, scope, compiler, cslot: int):
+    """Return a :class:`VecPlan` for ``stmt``, or ``None`` to stay scalar.
+
+    Eligible loops are ``IM IN YR .. UPPIN YR v TIL BOTH SAEM v AN
+    <inv>`` (or ``WILE SMALLR v AN <inv>``) whose bodies contain only
+    scalar declarations and assignments inside the affine/elementwise
+    model.  Called at compile time with the loop's scope pushed and the
+    counter (slot ``cslot``) plus body declarations pre-declared; the
+    analysis never mutates ``scope``.
+    """
+    if cslot < 0 or stmt.op != "UPPIN" or stmt.cond is None:
+        return None
+    try:
+        return _Analyzer(scope, compiler, cslot).build(stmt)
+    except _Bail:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Runtime
+# ---------------------------------------------------------------------------
+
+
+def _val(operand, regs):
+    return regs[operand[1]] if operand[0] == "r" else operand[1]
+
+
+def _int_guard(v: np.ndarray) -> np.ndarray:
+    if v.dtype.kind == "i" and (
+        int(v.max()) > _MAXI or int(v.min()) < -_MAXI
+    ):
+        raise _Bail
+    return v
+
+
+def _scalar_num(v):
+    t = type(v)
+    if t is float:
+        return v
+    if t is int and -_MAXI <= v <= _MAXI:
+        return v
+    raise _Bail
+
+
+def run_vec(m, frame, plan: VecPlan, pos) -> bool:
+    """Execute ``plan``; True = loop done, False = run the scalar loop."""
+    if not m.fast_sym:
+        return False  # the race detector must observe every access
+    try:
+        return _run(m, frame, plan)
+    except Exception:  # noqa: BLE001 — any guard failure stays scalar
+        return False
+
+
+def _run(m, frame, plan: VecPlan) -> bool:
+    heap = m.heap
+    my_pe = m.ctx.my_pe
+    n_pes = m.ctx.n_pes
+    regs: list = [None] * plan.n_regs
+    for op in plan.limit_prog:
+        _exec(op, regs, frame, 0, heap, my_pe, n_pes)
+    lim = _val(plan.limit, regs)
+    tl = type(lim)
+    if plan.mode == "eq":
+        # BOTH SAEM compares int/float by value, so an integral float
+        # limit terminates the scalar loop too; any other limit never
+        # matches the ascending int counter -> preserve the scalar
+        # infinite loop by bailing.
+        if tl is int:
+            n = lim
+        elif tl is float and math.isfinite(lim) and lim.is_integer():
+            n = int(lim)
+        else:
+            raise _Bail
+        if n < 0:
+            raise _Bail
+    else:  # "lt": n = first i with not (i < lim)
+        if tl is int:
+            n = lim if lim > 0 else 0
+        elif tl is float:
+            # NaN: lim > 0 is False -> 0 trips, same as the scalar test.
+            # +inf: math.ceil raises -> bail -> scalar infinite loop.
+            n = math.ceil(lim) if lim > 0 else 0
+        else:
+            raise _Bail
+    if n == 0:
+        frame[plan.cslot] = 0
+        return True
+    if n > _CAP:
+        raise _Bail
+    for op in plan.prog:
+        _exec(op, regs, frame, n, heap, my_pe, n_pes)
+    # Two-phase commit.  Validate every target and materialize every
+    # source (copying ndarray views) before the first write: after this
+    # point nothing can raise, and before it nothing has been mutated.
+    actions = []
+    for c in plan.commits:
+        tag = c[0]
+        if tag == "set":
+            actions.append((None, frame, c[1], _commit_val(c[2], regs, n)))
+        elif tag == "wslice":
+            data = regs[c[1]]
+            b = _val(c[2], regs)
+            if type(b) is not int:
+                raise _Bail
+            coeff = c[3]
+            end = b + coeff * (n - 1)
+            if b < 0 or end >= data.shape[0]:
+                raise _Bail
+            src = _val(c[4], regs)
+            if isinstance(src, np.ndarray):
+                src = src.copy()  # views may alias a committed target
+            elif type(src) is int:
+                if abs(src) > _MAXI:
+                    raise _Bail  # int64 store could overflow at apply
+            elif type(src) is not float:
+                raise _Bail
+            actions.append((None, data, slice(b, end + 1, coeff), src))
+        else:  # "w1"
+            data = regs[c[1]]
+            b = _val(c[2], regs)
+            if type(b) is not int or b < 0 or b >= data.shape[0]:
+                raise _Bail
+            v = _commit_val(c[3], regs, n)
+            if type(v) is int:
+                if abs(v) > _MAXI:
+                    raise _Bail
+            elif type(v) is not float:
+                raise _Bail
+            actions.append((None, data, b, v))
+    for _, target, where, v in actions:
+        target[where] = v
+    frame[plan.cslot] = n
+    return True
+
+
+def _commit_val(spec, regs, n: int):
+    tag = spec[0]
+    if tag == "c":
+        return spec[1]
+    if tag == "r":
+        return regs[spec[1]]
+    if tag == "last":
+        return regs[spec[1]][-1].item()
+    # "afflast": the final iteration's value as the scalar engine would
+    # compute it — one add on the invariant base.  Exactness of the
+    # reassociated coeff*(n-1) needs integers, so floats bail.
+    b = _val(spec[1], regs)
+    if type(b) is not int:
+        raise _Bail
+    return b + spec[2] * (n - 1)
+
+
+def _exec(op, regs, frame, n, heap, my_pe, n_pes) -> None:
+    tag = op[0]
+    if tag == "bin":
+        a = _val(op[3], regs)
+        b = _val(op[4], regs)
+        if not isinstance(a, np.ndarray):
+            a = _scalar_num(a)
+        if not isinstance(b, np.ndarray):
+            b = _scalar_num(b)
+        kind = op[2]
+        if kind == "add":
+            r = a + b
+        elif kind == "sub":
+            r = a - b
+        else:
+            r = a * b
+        regs[op[1]] = _int_guard(r)
+    elif tag == "read":
+        data = regs[op[2]]
+        b = _val(op[3], regs)
+        if type(b) is not int:
+            raise _Bail
+        coeff = op[4]
+        end = b + coeff * (n - 1)
+        if b < 0 or end >= data.shape[0]:
+            raise _Bail
+        regs[op[1]] = _int_guard(data[b : end + 1 : coeff])
+    elif tag == "slot":
+        v = frame[op[2]]
+        if v is UNDECLARED:
+            raise _Bail
+        regs[op[1]] = v
+    elif tag == "un":
+        v = regs[op[3]]
+        kind = op[2]
+        if kind == "square":
+            regs[op[1]] = _int_guard(v * v)
+        else:
+            if v.dtype.kind == "i":
+                v = v.astype(np.float64)  # exact under the int guard
+            if kind == "sqrt":
+                if bool((v < 0.0).any()):
+                    raise _Bail  # scalar raises UNSQUAR OF
+                regs[op[1]] = np.sqrt(v)
+            else:  # recip
+                if bool((v == 0.0).any()):
+                    raise _Bail  # scalar raises FLIP OF
+                regs[op[1]] = 1.0 / v
+    elif tag == "fold":
+        _, dst, kind, init, opnd, coerce = op
+        if init[0] == "slot":
+            acc = frame[init[1]]
+            if acc is UNDECLARED:
+                raise _Bail
+        else:  # ("elem", arr_reg, base_op)
+            data = regs[init[1]]
+            b = _val(init[2], regs)
+            if type(b) is not int or b < 0 or b >= data.shape[0]:
+                raise _Bail
+            v = data[b]
+            acc = int(v) if data.dtype.kind == "i" else float(v)
+        x = _val(opnd, regs)
+        xs = x.tolist() if isinstance(x, np.ndarray) else [x] * n
+        fn = _SBIN[kind]
+        if coerce is None:
+            for item in xs:
+                acc = fn(acc, item, None)
+        else:
+            ct, nm = coerce[1], coerce[2]
+            for item in xs:
+                acc = coerce_static(fn(acc, item, None), ct, nm, None)
+        regs[dst] = acc
+    elif tag == "iota":
+        b = _val(op[2], regs)
+        if type(b) is not int:
+            raise _Bail
+        coeff = op[3]
+        last = b + coeff * (n - 1)
+        if not (-_MAXI <= b <= _MAXI and -_MAXI <= last <= _MAXI):
+            raise _Bail
+        regs[op[1]] = np.arange(n, dtype=np.int64) * coeff + b
+    elif tag == "sbin":
+        regs[op[1]] = _SBIN[op[2]](_val(op[3], regs), _val(op[4], regs), None)
+    elif tag == "cast":
+        v = regs[op[2]]
+        if op[3] == "i":
+            if v.dtype.kind == "f":
+                if not bool(np.isfinite(v).all()):
+                    raise _Bail
+                if float(np.abs(v).max()) > _MAXI:
+                    raise _Bail
+                v = v.astype(np.int64)  # C truncation == to_numbr
+        else:
+            if v.dtype.kind == "i":
+                v = v.astype(np.float64)  # exact under the int guard
+        regs[op[1]] = v
+    elif tag == "read1":
+        data = regs[op[2]]
+        b = _val(op[3], regs)
+        if type(b) is not int or b < 0 or b >= data.shape[0]:
+            raise _Bail
+        v = data[b]
+        regs[op[1]] = int(v) if data.dtype.kind == "i" else float(v)
+    elif tag == "arr":
+        if op[2] == "slot":
+            cell = frame[op[3]]
+            if type(cell) is not ArrayCell:
+                raise _Bail
+        else:
+            obj = heap._symbols.get(op[3])
+            if obj is None or not obj.is_array:
+                raise _Bail
+            cell = obj.cell(my_pe)
+        data = cell.data
+        if (
+            not isinstance(data, np.ndarray)
+            or data.dtype.kind != op[4]
+            or data.itemsize != 8
+            or data.ndim != 1
+        ):
+            raise _Bail
+        regs[op[1]] = data
+    elif tag == "sun":
+        regs[op[1]] = _SUN[op[2]](_val(op[3], regs), None)
+    elif tag == "scast":
+        regs[op[1]] = coerce_static(_val(op[2], regs), op[3], op[4], None)
+    elif tag == "symrd":
+        obj = heap._symbols.get(op[2])
+        if obj is None or obj.is_array:
+            raise _Bail
+        regs[op[1]] = obj.cell(my_pe).read()
+    elif tag == "me":
+        regs[op[1]] = my_pe
+    elif tag == "np":
+        regs[op[1]] = n_pes
+    else:  # pragma: no cover — unknown op means a compiler bug
+        raise _Bail

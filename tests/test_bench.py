@@ -36,10 +36,10 @@ def test_run_sweep_schema(tiny_payload):
     assert tiny_payload["schema"] == 1
     assert tiny_payload["failures"] == []
     rows = tiny_payload["results"]
-    # 2 workloads x 3 engines (closure/ast/compiled) x 2 PE counts on
-    # the thread executor
-    assert len(rows) == 12
-    assert {r["engine"] for r in rows} == {"closure", "ast", "compiled"}
+    # 2 workloads x 4 engines (closure/ast/vm/compiled) x 2 PE counts
+    # on the thread executor
+    assert len(rows) == 16
+    assert {r["engine"] for r in rows} == {"closure", "ast", "vm", "compiled"}
     for row in rows:
         assert row["checker"] == "pass"
         assert row["differential"] == "pass"

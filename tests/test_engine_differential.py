@@ -140,6 +140,10 @@ def _assert_registry_agreement(workload, src, outputs, skips, n_pes, where):
         f"{workload.name}: closure diverged from tree-walker at {n_pes} "
         f"PEs {where}"
     )
+    assert outputs["vm"] == outputs["ast"], (
+        f"{workload.name}: VM engine diverged from tree-walker at "
+        f"{n_pes} PEs {where}"
+    )
     if "compiled" in outputs:
         assert outputs["compiled"] == outputs["ast"], (
             f"{workload.name}: compiled diverged from tree-walker at "
@@ -511,11 +515,19 @@ def test_engine_validation_and_max_steps_fallback():
 
     with pytest.raises(LolParallelError, match="unknown engine"):
         run_lolcode(lol("VISIBLE 1"), 1, engine="jit")
-    # max_steps forces the tree-walker; the limit must still fire under
-    # the default (closure) engine selection.
+    # The default (closure) engine refuses max_steps loudly — no silent
+    # engine swap to the tree-walker.
     spin = lol("IM IN YR forever UPPIN YR i\nVISIBLE i\nIM OUTTA YR forever")
-    with pytest.raises(LolError, match="steps"):
+    with pytest.raises(
+        LolParallelError, match="closure.*does not support max_steps"
+    ):
         run_lolcode(spin, 1, max_steps=50)
+    # The VM counts statement steps natively in its dispatch loop: the
+    # limit fires on a spin, and a program well under the limit runs.
+    with pytest.raises(LolError, match="statement steps"):
+        run_lolcode(spin, 1, max_steps=50, engine="vm")
+    ok = run_lolcode(lol("VISIBLE 1"), 1, max_steps=50, engine="vm")
+    assert ok.output == "1\n"
 
 
 def test_compiled_program_cache_shared_across_runs():

@@ -39,14 +39,24 @@ class TestRunLolcode:
         assert r.outputs == ["0\n", "1\n"]
 
     def test_max_steps_propagates(self):
-        from repro.lang.errors import LolRuntimeError
+        from repro.lang.errors import LolError
 
-        with pytest.raises((LolRuntimeError, LolParallelError)):
-            run_lolcode(
-                lol("IM IN YR l UPPIN YR i WILE WIN\nIM OUTTA YR l"),
-                1,
-                max_steps=100,
-            )
+        spin = lol("IM IN YR l UPPIN YR i WILE WIN\nIM OUTTA YR l")
+        # The engines that count steps natively must actually enforce
+        # the limit (not merely raise *something*); the PE failure is
+        # wrapped by the executor, so match on the limit message.
+        for engine in ("vm", "ast"):
+            with pytest.raises(LolError, match="statement steps"):
+                run_lolcode(spin, 1, max_steps=100, engine=engine)
+
+    def test_max_steps_closure_refused_loudly(self):
+        # The closure engine used to fall back silently to the
+        # tree-walker under max_steps; now it refuses up front and
+        # points at the engines that count steps natively.
+        with pytest.raises(
+            LolParallelError, match="closure.*does not support max_steps"
+        ):
+            run_lolcode(lol("VISIBLE 1"), 1, max_steps=100, engine="closure")
 
     def test_non_integral_literal_array_size_rejected(self):
         # 2.9 must not silently allocate 2 elements (the old int() path):
