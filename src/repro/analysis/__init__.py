@@ -1,0 +1,75 @@
+"""Path-sensitive static analysis over parallel LOLCODE.
+
+The package builds control-flow graphs over :mod:`repro.lang.ast`
+(:mod:`.cfg`), solves iterative dataflow problems on them
+(:mod:`.dataflow`), and derives diagnostics that the old straight-line
+checker could only guess at:
+
+* :mod:`.pe_taint` — PE-dependence abstract interpretation and the
+  barrier-matching verdict (``W101``),
+* :mod:`.locks` — may/must lock-release analysis (``W103`` /
+  ``W105`` / ``W106``),
+* :mod:`.races` — barrier-epoch static happens-before (``W102``),
+* :mod:`.bounds` — interval/affine analysis of symmetric array indices
+  and PE targets (``E008`` / ``W107``),
+* :mod:`.facts` — :class:`ProgramFacts` consumed by the engines.
+
+:func:`analyze_program` runs the full stack and returns the combined,
+position-sorted diagnostic list; :func:`repro.lang.checker.check_program`
+calls it after its scope/type pass, so every entry point (``lollint``,
+``run_lolcode(check=...)``, ``lcc --check``) sees one unified report.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from .bounds import BoundsResult, analyze_bounds
+from .cfg import CFG, BasicBlock, build_cfg, build_program_cfgs
+from .dataflow import ForwardAnalysis, run_forward
+from .diagnostics import (
+    Diagnostic,
+    FixIt,
+    render_json,
+    render_sarif,
+    sort_key,
+)
+from .facts import ProgramFacts, compute_facts
+from .locks import check_locks
+from .pe_taint import TaintResult, analyze_taint, check_barriers
+from .races import check_races
+
+__all__ = [
+    "CFG",
+    "BasicBlock",
+    "BoundsResult",
+    "Diagnostic",
+    "FixIt",
+    "ForwardAnalysis",
+    "ProgramFacts",
+    "TaintResult",
+    "analyze_bounds",
+    "analyze_program",
+    "analyze_taint",
+    "build_cfg",
+    "build_program_cfgs",
+    "check_barriers",
+    "check_locks",
+    "check_races",
+    "compute_facts",
+    "render_json",
+    "render_sarif",
+    "run_forward",
+    "sort_key",
+]
+
+
+def analyze_program(program: ast.Program) -> list[Diagnostic]:
+    """Run every CFG-based analysis; diagnostics sorted by position."""
+    taint = analyze_taint(program)
+    bounds = analyze_bounds(program)
+    diags: list[Diagnostic] = []
+    diags.extend(check_barriers(taint))
+    diags.extend(check_locks(taint))
+    diags.extend(bounds.diags)
+    diags.extend(check_races(taint, bounds))
+    return sorted(diags, key=sort_key)

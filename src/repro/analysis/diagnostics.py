@@ -1,0 +1,124 @@
+"""Diagnostic objects shared by the static analyses and ``lollint``.
+
+A :class:`Diagnostic` is what every pass produces: a stable code
+(``E...`` = error, ``W...`` = warning), a human message, a *real* source
+position (the analyses never fabricate ``0:0`` positions — every
+diagnostic points at the construct that triggered it), and optionally a
+machine-applicable :class:`FixIt` hint.
+
+Rendering comes in three shapes, matching ``lollint --format``:
+
+* ``text`` — the classic ``file:line:col: CODE: message`` lines (with an
+  indented ``fix:`` line when a hint is attached),
+* ``json`` — one object per diagnostic, stable keys,
+* ``sarif`` — a minimal SARIF 2.1.0 log suitable for code-scanning
+  upload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..lang.errors import SourcePos
+
+
+@dataclass(frozen=True, slots=True)
+class FixIt:
+    """A cheap, machine-applicable fix: insert ``text`` as its own line
+    immediately before ``pos.line`` (indentation is the applier's job)."""
+
+    text: str
+    pos: SourcePos
+
+    def describe(self) -> str:
+        return f"insert `{self.text}` before line {self.pos.line}"
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    code: str
+    message: str
+    pos: SourcePos
+    fixit: Optional[FixIt] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.code.startswith("E")
+
+    def render(self) -> str:
+        return f"{self.pos}: {self.code}: {self.message}"
+
+    def render_text(self) -> str:
+        """Full text-format rendering, including the fix-it line."""
+        out = self.render()
+        if self.fixit is not None:
+            out += f"\n    fix: {self.fixit.describe()}"
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        obj: dict[str, Any] = {
+            "code": self.code,
+            "severity": "error" if self.is_error else "warning",
+            "message": self.message,
+            "file": self.pos.filename,
+            "line": self.pos.line,
+            "col": self.pos.col,
+        }
+        if self.fixit is not None:
+            obj["fixit"] = {
+                "text": self.fixit.text,
+                "line": self.fixit.pos.line,
+                "col": self.fixit.pos.col,
+            }
+        return obj
+
+
+def sort_key(diag: Diagnostic) -> tuple[int, int, str, str]:
+    return (diag.pos.line, diag.pos.col, diag.code, diag.message)
+
+
+def render_json(diags: list[Diagnostic]) -> str:
+    return json.dumps([d.to_json() for d in diags], indent=2)
+
+
+def render_sarif(diags: list[Diagnostic]) -> str:
+    """Minimal SARIF 2.1.0 log (one run, one ``lollint`` driver)."""
+    rules = sorted({d.code for d in diags})
+    results = [
+        {
+            "ruleId": d.code,
+            "level": "error" if d.is_error else "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.pos.filename},
+                        "region": {
+                            "startLine": max(d.pos.line, 1),
+                            "startColumn": max(d.pos.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diags
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "lollint",
+                        "informationUri": "https://example.invalid/lollint",
+                        "rules": [{"id": r} for r in rules],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

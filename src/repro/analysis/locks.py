@@ -1,0 +1,290 @@
+"""Path-sensitive lock analysis (``W103`` / ``W105`` / ``W106``).
+
+A forward may/must dataflow per CFG tracks, for every lock symbol:
+
+* ``may`` — the set of acquire sites that may still hold the lock on
+  some path to this point,
+* ``must`` — whether the lock is held on *every* path.
+
+Joins take the union of ``may`` and the intersection of ``must``.
+Try-locks (``IM MESIN WIF``, result in ``IT``) are modelled
+path-sensitively: when the very next ``O RLY?`` tests the try-lock's
+``IT``, the YA RLY edge refines to *held* and the NO WAI edge to *not
+held* — the idiomatic spin-loop therefore verifies as released.
+``DUN MESIN WIF SRS <expr>`` (a dynamic name) conservatively releases
+every tracked lock, so dynamic release patterns no longer false-positive
+the way the old "no DUN MESIN WIF anywhere" heuristic did.
+
+Diagnostics:
+
+* ``W103`` — an acquire site whose lock may still be held at the
+  function/program exit (reported at the acquire, a real position).
+* ``W105`` — a blocking re-acquire while the lock is must-held
+  (self-deadlock; the shim's global lock is not reentrant).
+* ``W106`` — a lock acquired under a PE-divergent branch and not
+  released within that branch arm: lock state diverges across PEs at
+  the join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..lang import ast
+from ..lang.errors import SourcePos
+from .cfg import BasicBlock, Branch, CfgStmt, Term
+from .dataflow import ForwardAnalysis, exit_state, run_forward
+from .diagnostics import Diagnostic
+from .pe_taint import TaintResult
+
+#: per-lock fact: (name, sorted acquire positions may-holding, must-held)
+LockItem = tuple[str, tuple[SourcePos, ...], bool]
+
+
+@dataclass(frozen=True, slots=True)
+class LockState:
+    locks: tuple[LockItem, ...] = ()
+    it_src: Optional[str] = None  # lock name whose trylock last set IT
+
+    def as_dict(self) -> dict[str, tuple[frozenset[SourcePos], bool]]:
+        return {n: (frozenset(may), must) for n, may, must in self.locks}
+
+
+def _mk(
+    d: dict[str, tuple[frozenset[SourcePos], bool]], it_src: Optional[str]
+) -> LockState:
+    items: list[LockItem] = []
+    for name in sorted(d):
+        may, must = d[name]
+        if not may and not must:
+            continue
+        items.append(
+            (name, tuple(sorted(may, key=lambda p: (p.line, p.col))), must)
+        )
+    return LockState(tuple(items), it_src)
+
+
+class LockAnalysis(ForwardAnalysis[LockState]):
+    def __init__(self, collector: "LockChecker") -> None:
+        self.collector = collector
+
+    def boundary(self) -> LockState:
+        return LockState()
+
+    def join(self, a: LockState, b: LockState) -> LockState:
+        da, db = a.as_dict(), b.as_dict()
+        out: dict[str, tuple[frozenset[SourcePos], bool]] = {}
+        for name in set(da) | set(db):
+            may_a, must_a = da.get(name, (frozenset(), False))
+            may_b, must_b = db.get(name, (frozenset(), False))
+            out[name] = (may_a | may_b, must_a and must_b)
+        it_src = a.it_src if a.it_src == b.it_src else None
+        return _mk(out, it_src)
+
+    def transfer_stmt(
+        self, state: LockState, entry: CfgStmt, block: BasicBlock
+    ) -> LockState:
+        stmt, _ctx = entry
+        if isinstance(stmt, ast.LockStmt):
+            return self._lock_stmt(state, stmt)
+        if isinstance(stmt, ast.ExprStmt):
+            state = self._calls(state, stmt.expr)
+            return LockState(state.locks, None)  # IT redefined
+        for expr in _exprs_of(stmt):
+            state = self._calls(state, expr)
+        return state
+
+    def _lock_stmt(self, state: LockState, stmt: ast.LockStmt) -> LockState:
+        d = state.as_dict()
+        target = stmt.target
+        if not isinstance(target, ast.VarRef):
+            # SRS dynamic name: an unlock may release anything we track
+            if stmt.kind == "unlock":
+                return LockState((), state.it_src)
+            if stmt.kind == "trylock":
+                return LockState(state.locks, None)
+            return state
+        name = target.name
+        may, must = d.get(name, (frozenset(), False))
+        if stmt.kind == "lock":
+            if must:
+                self.collector.report(
+                    "W105",
+                    f"IM SRSLY MESIN WIF '{name}' while the lock is "
+                    f"already held: this blocks forever (self-deadlock)",
+                    stmt.pos,
+                )
+            d[name] = (may | {stmt.pos}, True)
+            return _mk(d, state.it_src)
+        if stmt.kind == "trylock":
+            d[name] = (may | {stmt.pos}, must)
+            return _mk(d, name)
+        # unlock
+        d[name] = (frozenset(), False)
+        return _mk(d, state.it_src)
+
+    def _calls(self, state: LockState, expr: ast.Expr) -> LockState:
+        effects = self.collector.call_effects(expr)
+        if effects is None:
+            return state
+        locked, unlocked, dynamic = effects
+        if not (locked or unlocked or dynamic):
+            return state
+        d = state.as_dict()
+        if dynamic:
+            return LockState((), state.it_src)
+        for name in unlocked:
+            d[name] = (frozenset(), False)
+        for name, pos in locked.items():
+            may, _must = d.get(name, (frozenset(), False))
+            d[name] = (may | {pos}, False)
+        return _mk(d, state.it_src)
+
+    def refine_edge(
+        self, state: LockState, block: BasicBlock, succ_index: int, succ: int
+    ) -> LockState:
+        term = block.term
+        if (
+            not isinstance(term, Branch)
+            or not isinstance(term.owner, ast.If)
+            or term.cond is not None
+            or state.it_src is None
+        ):
+            return state
+        name = state.it_src
+        d = state.as_dict()
+        may, must = d.get(name, (frozenset(), False))
+        if succ_index == 0:  # YA RLY: the trylock succeeded
+            d[name] = (may, True)
+        else:  # NO WAI: it did not acquire
+            if not must:
+                d[name] = (frozenset(), False)
+        return _mk(d, state.it_src)
+
+
+def _exprs_of(stmt: Union[ast.Stmt, object]) -> list[ast.Expr]:
+    if isinstance(stmt, ast.VarDecl):
+        return [e for e in (stmt.size, stmt.init) if e is not None]
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value, stmt.target]
+    if isinstance(stmt, ast.Visible):
+        return list(stmt.args)
+    if isinstance(stmt, ast.Return):
+        return [stmt.expr]
+    return []
+
+
+class LockChecker:
+    def __init__(self, taint: TaintResult) -> None:
+        self.taint = taint
+        self.program = taint.program
+        self.diags: list[Diagnostic] = []
+        self._seen: set[tuple[str, SourcePos]] = set()
+        self._effects: dict[
+            str, tuple[dict[str, SourcePos], set[str], bool]
+        ] = {}
+        for stmt in ast.walk_statements(self.program.body):
+            if isinstance(stmt, ast.FuncDef):
+                self._effects[stmt.name] = self._summarise(stmt)
+
+    def report(self, code: str, message: str, pos: SourcePos) -> None:
+        if (code, pos) in self._seen:
+            return
+        self._seen.add((code, pos))
+        self.diags.append(Diagnostic(code, message, pos))
+
+    def _summarise(
+        self, func: ast.FuncDef
+    ) -> tuple[dict[str, SourcePos], set[str], bool]:
+        locked: dict[str, SourcePos] = {}
+        unlocked: set[str] = set()
+        dynamic = False
+        for stmt in ast.walk_statements(func.body):
+            if isinstance(stmt, ast.LockStmt):
+                if isinstance(stmt.target, ast.VarRef):
+                    if stmt.kind == "unlock":
+                        unlocked.add(stmt.target.name)
+                    else:
+                        locked.setdefault(stmt.target.name, stmt.pos)
+                elif stmt.kind == "unlock":
+                    dynamic = True
+        return locked, unlocked, dynamic
+
+    def call_effects(
+        self, expr: ast.Expr
+    ) -> Optional[tuple[dict[str, SourcePos], set[str], bool]]:
+        locked: dict[str, SourcePos] = {}
+        unlocked: set[str] = set()
+        dynamic = False
+        found = False
+        from .pe_taint import _walk_expr
+
+        for sub in _walk_expr(expr):
+            if isinstance(sub, ast.FuncCall):
+                eff = self._effects.get(sub.name)
+                if eff is None:
+                    continue
+                found = True
+                locked.update(eff[0])
+                unlocked |= eff[1]
+                dynamic = dynamic or eff[2]
+        return (locked, unlocked, dynamic) if found else None
+
+    # -- driving -------------------------------------------------------
+
+    def check(self) -> list[Diagnostic]:
+        for _fname, cfg in self.taint.cfgs.items():
+            analysis = LockAnalysis(self)
+            in_states = run_forward(cfg, analysis)
+            final = exit_state(cfg, analysis, in_states)
+            for name, may, _must in final.locks:
+                for pos in may:
+                    self.report(
+                        "W103",
+                        f"lock on '{name}' acquired here may never be "
+                        f"released on some path (add DUN MESIN WIF "
+                        f"{name} before every exit)",
+                        pos,
+                    )
+        self._check_divergent_acquires()
+        return self.diags
+
+    def _check_divergent_acquires(self) -> None:
+        """``W106``: acquire under a divergent branch, no release in-arm."""
+        for stmt in ast.walk_statements(self.program.body):
+            if not isinstance(stmt, (ast.If, ast.Switch, ast.Loop)):
+                continue
+            if not self.taint.is_divergent(stmt):
+                continue
+            for arm in ast.child_statements(stmt):
+                self._scan_arm(arm)
+
+    def _scan_arm(self, arm: list[ast.Stmt]) -> None:
+        released: set[str] = set()
+        dynamic_release = False
+        acquires: list[tuple[str, SourcePos]] = []
+        for s in ast.walk_statements(arm):
+            if isinstance(s, ast.LockStmt):
+                if isinstance(s.target, ast.VarRef):
+                    if s.kind == "unlock":
+                        released.add(s.target.name)
+                    elif s.kind == "lock":
+                        acquires.append((s.target.name, s.pos))
+                elif s.kind == "unlock":
+                    dynamic_release = True
+        if dynamic_release:
+            return
+        for name, pos in acquires:
+            if name not in released:
+                self.report(
+                    "W106",
+                    f"lock on '{name}' acquired under a PE-dependent "
+                    f"branch and not released before the join: lock "
+                    f"state diverges across PEs",
+                    pos,
+                )
+
+
+def check_locks(taint: TaintResult) -> list[Diagnostic]:
+    return LockChecker(taint).check()

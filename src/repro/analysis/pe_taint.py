@@ -1,0 +1,460 @@
+"""PE-dependence taint analysis and barrier alignment (``W101``).
+
+Two cooperating pieces:
+
+1. A forward dataflow (:class:`TaintAnalysis`) over each CFG computes,
+   at every program point, the set of variables whose values may be
+   **PE-dependent** — derived from ``ME``, ``WHATEVR``/``WHATEVAR``
+   draws, ``GIMMEH`` input, remote (``UR``) data, or assigned under a
+   PE-divergent branch.  The lattice per variable is the two-point
+   chain ``UNIFORM ⊑ PE_DEP`` (a state is the set of ``PE_DEP``
+   names; join is set union).  The implicit ``IT`` variable is tracked
+   like any other, so ``O RLY?`` conditions routed through ``IT`` are
+   classified precisely — including try-lock results, which are
+   per-PE.
+
+2. A structured barrier-alignment walk turns the per-branch divergence
+   verdicts into the collective property the paper's barrier semantics
+   require: **along every path, each ``HUGZ`` is reached by all PEs or
+   by none**.  The abstraction per region is a barrier count in
+   ``{0, 1, 2, …} ∪ {MANY}`` (``MANY`` = aligned but statically
+   unknown, e.g. a uniform loop containing barriers).  A divergent
+   branch is fine when all its arms have the same *exact* count — so
+   ``BOTH SAEM ME AN 0, O RLY? YA RLY, HUGZ, NO WAI, HUGZ, OIC`` is
+   clean — and flagged (``W101``) when counts differ, when a divergent
+   loop body contains barriers, or when a ``GTFO``/``FOUND YR`` under
+   divergent control can make PEs leave a barrier-bearing loop after
+   different trip counts.
+
+Soundness caveats (documented in ``docs/analysis.md``): function call
+results are conservatively PE-dependent; ``SRS`` dynamic names are
+untracked; uniformity of a loop condition is judged at fixpoint over
+all iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from ..lang import ast
+from .cfg import (
+    CFG,
+    BasicBlock,
+    Branch,
+    CfgStmt,
+    Dispatch,
+    LoopInc,
+    LoopInit,
+    Term,
+    TxtPe,
+    build_program_cfgs,
+)
+from .dataflow import ForwardAnalysis, run_forward
+from .diagnostics import Diagnostic
+
+#: Taint state: frozenset of PE-dependent variable names ("IT" included).
+TaintState = frozenset[str]
+
+_IT = "IT"
+
+
+def _walk_expr(expr: ast.Expr) -> Iterator[ast.Expr]:
+    yield expr
+    if isinstance(expr, ast.BinOp):
+        yield from _walk_expr(expr.lhs)
+        yield from _walk_expr(expr.rhs)
+    elif isinstance(expr, ast.UnaryOp):
+        yield from _walk_expr(expr.operand)
+    elif isinstance(expr, ast.NaryOp):
+        for op in expr.operands:
+            yield from _walk_expr(op)
+    elif isinstance(expr, ast.Cast):
+        yield from _walk_expr(expr.expr)
+    elif isinstance(expr, ast.Index):
+        yield from _walk_expr(expr.base)
+        yield from _walk_expr(expr.index)
+    elif isinstance(expr, ast.SrsRef):
+        yield from _walk_expr(expr.expr)
+    elif isinstance(expr, ast.FuncCall):
+        for a in expr.args:
+            yield from _walk_expr(a)
+
+
+def expr_taint(expr: ast.Expr, state: TaintState) -> bool:
+    """May the value of ``expr`` differ across PEs in ``state``?"""
+    for sub in _walk_expr(expr):
+        if isinstance(sub, (ast.MeExpr, ast.RandomExpr, ast.FuncCall)):
+            return True
+        if isinstance(sub, ast.SrsRef):
+            return True
+        if isinstance(sub, ast.ItRef) and _IT in state:
+            return True
+        if isinstance(sub, ast.VarRef):
+            if sub.qualifier == "UR" or sub.name in state:
+                return True
+    return False
+
+
+class TaintAnalysis(ForwardAnalysis[TaintState]):
+    def __init__(self, owner: "TaintResult") -> None:
+        self.owner = owner
+
+    def boundary(self) -> TaintState:
+        return frozenset(self.owner.boundary_taint)
+
+    def join(self, a: TaintState, b: TaintState) -> TaintState:
+        return a | b
+
+    def _divergent_context(self, block: BasicBlock) -> bool:
+        return any(
+            self.owner.branch_divergent.get(id(g), False)
+            for g in block.governing
+        )
+
+    def transfer_stmt(
+        self, state: TaintState, entry: CfgStmt, block: BasicBlock
+    ) -> TaintState:
+        stmt, _ctx = entry
+        div = self._divergent_context(block)
+        if isinstance(stmt, LoopInit):
+            return (state | {stmt.var}) if div else (state - {stmt.var})
+        if isinstance(stmt, (LoopInc, TxtPe)):
+            return state
+        if isinstance(stmt, ast.VarDecl):
+            tainted = div or (
+                stmt.init is not None and expr_taint(stmt.init, state)
+            )
+            return (state | {stmt.name}) if tainted else (state - {stmt.name})
+        if isinstance(stmt, ast.Assign):
+            return self._assign(state, stmt.target, stmt.value, div)
+        if isinstance(stmt, ast.ExprStmt):
+            tainted = div or expr_taint(stmt.expr, state)
+            return (state | {_IT}) if tainted else (state - {_IT})
+        if isinstance(stmt, ast.Gimmeh):
+            name = _target_name(stmt.target)
+            return (state | {name}) if name is not None else state
+        if isinstance(stmt, ast.LockStmt):
+            if stmt.kind == "trylock":
+                return state | {_IT}  # per-PE success/failure
+            return state
+        return state
+
+    def _assign(
+        self,
+        state: TaintState,
+        target: ast.Expr,
+        value: ast.Expr,
+        div: bool,
+    ) -> TaintState:
+        tainted = div or expr_taint(value, state)
+        if isinstance(target, ast.Index):
+            tainted = tainted or expr_taint(target.index, state)
+            base = target.base
+            if isinstance(base, ast.VarRef) and base.qualifier != "UR":
+                # weak update: one element changed, the array as a whole
+                # becomes PE-dependent only if the write was
+                return (state | {base.name}) if tainted else state
+            return state
+        if isinstance(target, ast.VarRef) and target.qualifier != "UR":
+            name = target.name
+            return (state | {name}) if tainted else (state - {name})
+        return state  # UR / SRS targets: no local def to track
+
+    def transfer_term(
+        self, state: TaintState, term: Term, block: BasicBlock
+    ) -> TaintState:
+        if isinstance(term, Branch):
+            cond_tainted = (
+                _IT in state
+                if term.cond is None
+                else expr_taint(term.cond, state)
+            )
+            if cond_tainted:
+                self.owner.mark_divergent(term.owner)
+        elif isinstance(term, Dispatch):
+            cond_tainted = _IT in state or any(
+                expr_taint(lit, state) for lit, _ in term.cases
+            )
+            if cond_tainted:
+                self.owner.mark_divergent(term.owner)
+        return state
+
+
+def _target_name(target: ast.Expr) -> Optional[str]:
+    if isinstance(target, ast.VarRef) and target.qualifier != "UR":
+        return target.name
+    if isinstance(target, ast.Index) and isinstance(target.base, ast.VarRef):
+        if target.base.qualifier != "UR":
+            return target.base.name
+    return None
+
+
+class TaintResult:
+    """Fixpoint taint facts for a whole program."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.cfgs = build_program_cfgs(program)
+        self.branch_divergent: dict[int, bool] = {}
+        self.block_states: dict[Optional[str], dict[int, TaintState]] = {}
+        #: function parameters are conservatively PE-dependent
+        self.boundary_taint: set[str] = set()
+        self._changed = False
+        self._solve()
+
+    def mark_divergent(
+        self, node: Union[ast.If, ast.Switch, ast.Loop]
+    ) -> None:
+        if not self.branch_divergent.get(id(node), False):
+            self.branch_divergent[id(node)] = True
+            self._changed = True
+
+    def _solve(self) -> None:
+        # The divergence verdicts feed back into the transfer function
+        # (assignment under a divergent branch taints its target), so
+        # iterate the whole dataflow until the verdict set stabilises.
+        # Verdicts only ever flip UNIFORM -> PE_DEP: monotone, so this
+        # terminates in at most |branches| rounds.
+        for _round in range(len(self.branch_divergent) + 64):
+            self._changed = False
+            for fname, cfg in self.cfgs.items():
+                self.boundary_taint = (
+                    set() if fname is None else self._param_set(fname)
+                )
+                analysis = TaintAnalysis(self)
+                self.block_states[fname] = run_forward(cfg, analysis)
+            if not self._changed:
+                break
+
+    def _param_set(self, fname: str) -> set[str]:
+        for stmt in ast.walk_statements(self.program.body):
+            if isinstance(stmt, ast.FuncDef) and stmt.name == fname:
+                return set(stmt.params)
+        return set()
+
+    def is_divergent(
+        self, node: Union[ast.If, ast.Switch, ast.Loop]
+    ) -> bool:
+        return self.branch_divergent.get(id(node), False)
+
+
+def analyze_taint(program: ast.Program) -> TaintResult:
+    return TaintResult(program)
+
+
+# ---------------------------------------------------------------------------
+# Barrier alignment (W101)
+# ---------------------------------------------------------------------------
+
+#: Barrier count abstraction: exact ``int`` or MANY (aligned, unknown).
+MANY = -1
+
+#: Break/return divergence: none, uniform (all PEs together), divergent.
+_NO, _UNIFORM, _DIVERGENT = 0, 1, 2
+
+
+def _add(a: int, b: int) -> int:
+    return MANY if (a == MANY or b == MANY) else a + b
+
+
+class BarrierChecker:
+    def __init__(self, taint: TaintResult) -> None:
+        self.taint = taint
+        self.diags: list[Diagnostic] = []
+        self._flagged: set[int] = set()  # id(Hugz) already reported
+        self.functions: dict[str, ast.FuncDef] = {
+            s.name: s
+            for s in ast.walk_statements(taint.program.body)
+            if isinstance(s, ast.FuncDef)
+        }
+        self._summaries: dict[str, int] = {}
+        self._in_progress: set[str] = set()
+
+    # -- function barrier-count summaries ------------------------------
+
+    def call_count(self, fname: str) -> int:
+        if fname in self._summaries:
+            return self._summaries[fname]
+        func = self.functions.get(fname)
+        if func is None or fname in self._in_progress:
+            return 0  # unknown callee / recursion: assume barrier-free
+        self._in_progress.add(fname)
+        count, _br, _ret = self._body(func.body, quiet=True)
+        self._in_progress.discard(fname)
+        self._summaries[fname] = count
+        return count
+
+    def _stmt_call_count(self, stmt: ast.Stmt) -> int:
+        total = 0
+        for expr in _stmt_exprs(stmt):
+            for sub in _walk_expr(expr):
+                if isinstance(sub, ast.FuncCall):
+                    total = _add(total, self.call_count(sub.name))
+        return total
+
+    # -- the walk ------------------------------------------------------
+
+    def check(self) -> list[Diagnostic]:
+        count, _br, ret = self._body(self.taint.program.body, quiet=False)
+        if ret == _DIVERGENT and count != 0:
+            self._flag_region(self.taint.program.body)
+        for func in self.functions.values():
+            count, _br, ret = self._body(func.body, quiet=False)
+            if ret == _DIVERGENT and count != 0:
+                self._flag_region(func.body)
+        return self.diags
+
+    def _body(
+        self, body: list[ast.Stmt], *, quiet: bool
+    ) -> tuple[int, int, int]:
+        """Return ``(barrier_count, break_kind, return_kind)``."""
+        count = 0
+        brk = _NO
+        ret = _NO
+        for stmt in body:
+            if isinstance(stmt, ast.Hugz):
+                count = _add(count, 1)
+            elif isinstance(stmt, ast.Gtfo):
+                brk = max(brk, _UNIFORM)
+            elif isinstance(stmt, ast.Return):
+                ret = max(ret, _UNIFORM)
+            elif isinstance(stmt, (ast.If, ast.Switch)):
+                count, brk, ret = self._branch(
+                    stmt, count, brk, ret, quiet=quiet
+                )
+            elif isinstance(stmt, ast.Loop):
+                count, ret = self._loop(stmt, count, ret, quiet=quiet)
+            elif isinstance(stmt, ast.TxtStmt):
+                c, b, r = self._body(stmt.body, quiet=quiet)
+                count = _add(count, c)
+                brk = max(brk, b)
+                ret = max(ret, r)
+            elif isinstance(stmt, ast.FuncDef):
+                continue
+            else:
+                count = _add(count, self._stmt_call_count(stmt))
+        return count, brk, ret
+
+    def _branch(
+        self,
+        stmt: Union[ast.If, ast.Switch],
+        count: int,
+        brk: int,
+        ret: int,
+        *,
+        quiet: bool,
+    ) -> tuple[int, int, int]:
+        arms = ast.child_statements(stmt)
+        results = [self._body(arm, quiet=quiet) for arm in arms]
+        divergent = self.taint.is_divergent(stmt)
+        arm_counts = [c for c, _b, _r in results]
+        arm_brk = max((b for _c, b, _r in results), default=_NO)
+        arm_ret = max((r for _c, _b, r in results), default=_NO)
+        if divergent:
+            aligned = (
+                all(c == arm_counts[0] for c in arm_counts)
+                and arm_counts[0] != MANY
+            )
+            if not aligned:
+                if not quiet:
+                    self._flag_region([stmt])
+                return count, max(brk, self._div(arm_brk)), max(
+                    ret, self._div(arm_ret)
+                )
+            return (
+                _add(count, arm_counts[0]),
+                max(brk, self._div(arm_brk)),
+                max(ret, self._div(arm_ret)),
+            )
+        joined = arm_counts[0] if arm_counts else 0
+        for c in arm_counts[1:]:
+            if c != joined:
+                joined = MANY  # uniform choice: aligned, count unknown
+        return _add(count, joined), max(brk, arm_brk), max(ret, arm_ret)
+
+    @staticmethod
+    def _div(kind: int) -> int:
+        return _DIVERGENT if kind != _NO else _NO
+
+    def _loop(
+        self, stmt: ast.Loop, count: int, ret: int, *, quiet: bool
+    ) -> tuple[int, int]:
+        c, brk, r = self._body(stmt.body, quiet=quiet)
+        divergent = stmt.cond is not None and self.taint.is_divergent(stmt)
+        if c != 0 and (divergent or brk == _DIVERGENT or r == _DIVERGENT):
+            if not quiet:
+                self._flag_region([stmt])
+            return count, max(ret, self._div(r))
+        if c != 0:
+            count = _add(count, MANY)  # aligned, trip count unknown
+        return count, max(ret, r)
+
+    def _flag_region(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in ast.walk_statements(stmts):
+            if isinstance(stmt, ast.Hugz) and id(stmt) not in self._flagged:
+                self._flagged.add(id(stmt))
+                self.diags.append(
+                    Diagnostic(
+                        "W101",
+                        "HUGZ under PE-divergent control is not matched "
+                        "on every path: PEs taking different paths "
+                        "deadlock at the barrier",
+                        stmt.pos,
+                    )
+                )
+            else:
+                for expr in _stmt_exprs(stmt):
+                    for sub in _walk_expr(expr):
+                        if (
+                            isinstance(sub, ast.FuncCall)
+                            and self.call_count(sub.name) != 0
+                            and id(sub) not in self._flagged
+                        ):
+                            self._flagged.add(id(sub))
+                            self.diags.append(
+                                Diagnostic(
+                                    "W101",
+                                    f"call to '{sub.name}' (which "
+                                    f"barriers) under PE-divergent "
+                                    f"control may deadlock",
+                                    sub.pos,
+                                )
+                            )
+
+
+def _stmt_exprs(stmt: ast.Stmt) -> Iterator[ast.Expr]:
+    """The expressions a statement evaluates directly (not nested blocks)."""
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.size is not None:
+            yield stmt.size
+        if stmt.init is not None:
+            yield stmt.init
+    elif isinstance(stmt, ast.Assign):
+        yield stmt.value
+        yield stmt.target
+    elif isinstance(stmt, ast.CastStmt):
+        yield stmt.target
+    elif isinstance(stmt, ast.ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, ast.Visible):
+        yield from stmt.args
+    elif isinstance(stmt, ast.Gimmeh):
+        yield stmt.target
+    elif isinstance(stmt, ast.Return):
+        yield stmt.expr
+    elif isinstance(stmt, ast.If):
+        for cond, _body in stmt.mebbe:
+            yield cond
+    elif isinstance(stmt, ast.Switch):
+        for lit, _body in stmt.cases:
+            yield lit
+    elif isinstance(stmt, ast.Loop):
+        if stmt.cond is not None:
+            yield stmt.cond
+    elif isinstance(stmt, ast.TxtStmt):
+        yield stmt.pe
+
+
+def check_barriers(taint: TaintResult) -> list[Diagnostic]:
+    """``W101``: path-sensitive barrier-matching over taint verdicts."""
+    return BarrierChecker(taint).check()

@@ -41,6 +41,16 @@ def _fail(exc: LolError) -> int:
     return 1
 
 
+def _check_gate(text: str, filename: str) -> int:
+    """Run the static checker before a compile; 2 blocks the build."""
+    from .lang.checker import check_source
+
+    diags = check_source(text, filename=filename)
+    for diag in diags:
+        print(diag.render(), file=sys.stderr)
+    return 2 if any(d.is_error for d in diags) else 0
+
+
 def lcc_main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lcc",
@@ -57,9 +67,19 @@ def lcc_main(argv: Optional[Sequence[str]] = None) -> int:
         default="c",
         help="target language (default: c, the paper's backend)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the static analyses first; E-codes block the compile "
+        "(exit 2), warnings go to stderr",
+    )
     args = parser.parse_args(argv)
     try:
         text = _read(args.source)
+        if args.check:
+            rc = _check_gate(text, args.source)
+            if rc:
+                return rc
         if args.emit == "c":
             from .compiler import compile_c
 
@@ -118,9 +138,19 @@ def lolcc_main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="C compiler to use (default: $LOL_CC, cc, gcc, clang)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the static analyses first; E-codes block the build "
+        "(exit 2), warnings go to stderr",
+    )
     args = parser.parse_args(argv)
     try:
         text = _read(args.source)
+        if args.check:
+            rc = _check_gate(text, args.source)
+            if rc:
+                return rc
         if args.build:
             import shutil
 
@@ -276,6 +306,13 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print an op-trace summary (puts/gets/barriers/bytes)",
     )
+    parser.add_argument(
+        "--check",
+        choices=("off", "warn", "error"),
+        default="off",
+        help="static analysis before launch: warn prints diagnostics to "
+        "stderr, error refuses to launch on any E-code (default off)",
+    )
     args = parser.parse_args(argv)
     engine = args.engine
     if args.compiled:
@@ -301,6 +338,7 @@ def lolrun_main(argv: Optional[Sequence[str]] = None) -> int:
             trace=args.trace,
             race_detection=args.race_check,
             engine=engine,
+            check=args.check,
         )
     except LolError as exc:
         return _fail(exc)
@@ -327,32 +365,87 @@ def lolserve_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def lollint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Static checker CLI over :mod:`repro.analysis`.
+
+    Exit codes: ``0`` clean (or warnings without ``--strict``), ``1``
+    warnings under ``--strict``, ``2`` any error (including parse
+    errors, which are reported as ``E000``).
+    """
     parser = argparse.ArgumentParser(
         prog="lollint",
-        description="static checker for parallel LOLCODE (E-codes are "
-        "errors, W-codes heuristic warnings)",
+        description="path-sensitive static checker for parallel LOLCODE "
+        "(E-codes are errors, W-codes warnings; see docs/analysis.md "
+        "for the catalog)",
     )
     parser.add_argument("sources", nargs="+", help=".lol files ('-' stdin)")
     parser.add_argument(
         "--errors-only", action="store_true", help="suppress W-codes"
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any warning is reported (errors still exit 2)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="fmt",
+        help="output format (default text; json/sarif collect every "
+        "file's diagnostics into one document on stdout)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="suppress a diagnostic code (repeatable, e.g. "
+        "--disable W102 --disable W104)",
+    )
     args = parser.parse_args(argv)
+    from .analysis.diagnostics import (
+        Diagnostic,
+        render_json,
+        render_sarif,
+    )
+    from .lang.errors import SourcePos
     from .lang.checker import check_source
 
-    worst = 0
+    disabled = set(args.disable)
+    collected: list[Diagnostic] = []
     for path in args.sources:
         try:
             diags = check_source(_read(path), filename=path)
         except LolError as exc:
-            print(exc.render(), file=sys.stderr)
-            worst = max(worst, 1)
+            collected.append(
+                Diagnostic(
+                    "E000",
+                    exc.message,
+                    exc.pos
+                    if exc.pos.line
+                    else SourcePos(1, 1, path),
+                )
+            )
             continue
-        for diag in diags:
-            if args.errors_only and not diag.is_error:
-                continue
-            print(diag.render())
-            worst = max(worst, 1 if diag.is_error else worst)
-    return worst
+        collected.extend(diags)
+    shown = [
+        d
+        for d in collected
+        if d.code not in disabled
+        and not (args.errors_only and not d.is_error)
+    ]
+    if args.fmt == "json":
+        print(render_json(shown))
+    elif args.fmt == "sarif":
+        print(render_sarif(shown))
+    else:
+        for diag in shown:
+            print(diag.render_text())
+    if any(d.is_error for d in shown):
+        return 2
+    if shown and args.strict:
+        return 1
+    return 0
 
 
 def lolfmt_main(argv: Optional[Sequence[str]] = None) -> int:

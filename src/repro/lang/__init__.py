@@ -6,6 +6,7 @@ from .errors import (
     LolNameError,
     LolParallelError,
     LolRuntimeError,
+    LolStaticError,
     LolSyntaxError,
     LolTypeError,
     SourcePos,
@@ -21,6 +22,7 @@ __all__ = [
     "LolNameError",
     "LolParallelError",
     "LolRuntimeError",
+    "LolStaticError",
     "LolSyntaxError",
     "LolTypeError",
     "SourcePos",

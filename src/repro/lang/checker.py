@@ -14,42 +14,43 @@ code        diagnostic
 ``E005``    symmetric (``WE HAS A``) declaration without a type
 ``E006``    call to an undefined function / wrong arity
 ``E007``    indexing a scalar / scalar use of an array
-``W101``    ``HUGZ`` inside a PE-dependent branch (potential barrier
-            mismatch deadlock — e.g. ``BOTH SAEM ME AN 0, O RLY?``)
-``W102``    remote write followed by a local read of the same symbol
-            with no intervening ``HUGZ`` (the Figure 2 bug, statically)
-``W103``    lock acquired but never released on some path (heuristic:
-            no ``DUN MESIN WIF`` for the symbol anywhere)
+``E008``    array index / PE target definitely out of range
+``W101``    ``HUGZ`` not matched on every path of PE-divergent control
+            (barrier mismatch deadlock)
+``W102``    conflicting local/remote accesses to a symmetric symbol in
+            one barrier epoch (the Figure 2 race, statically)
+``W103``    lock acquired but possibly never released on some path
 ``W104``    declared variable never used
+``W105``    blocking re-acquire of a lock that is already held
+``W106``    lock acquired under a PE-divergent branch, not released
+``W107``    array index / PE target possibly out of range
 ========== ============================================================
 
-``E``-codes are errors a run would surface dynamically; ``W``-codes are
-heuristic warnings (conservative, straight-line approximations — this is
-a linter, not a model checker).
+This module performs the scope/type pass (``E001``–``E007`` and
+``W104``) by direct traversal; the parallel-correctness codes come from
+the CFG + dataflow analyses in :mod:`repro.analysis` (path-sensitive —
+a barrier under a *uniform* branch or a lock released on *every* path
+no longer warns).  ``E``-codes are errors a run would surface
+dynamically; ``W``-codes are conservative warnings.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
+from ..analysis import analyze_program
+from ..analysis.diagnostics import Diagnostic, FixIt, sort_key
 from . import ast
 from .errors import SourcePos
 from .parser import parse
 
-
-@dataclass(frozen=True, slots=True)
-class Diagnostic:
-    code: str
-    message: str
-    pos: SourcePos
-
-    @property
-    def is_error(self) -> bool:
-        return self.code.startswith("E")
-
-    def render(self) -> str:
-        return f"{self.pos}: {self.code}: {self.message}"
+__all__ = [
+    "Diagnostic",
+    "FixIt",
+    "check_program",
+    "check_source",
+]
 
 
 @dataclass(slots=True)
@@ -83,18 +84,14 @@ class _Scope:
 
 
 class Checker:
+    """The scope/type pass: ``E001``–``E007`` and ``W104``."""
+
     def __init__(self, program: ast.Program) -> None:
         self.program = program
         self.diags: list[Diagnostic] = []
         self.functions: dict[str, ast.FuncDef] = {}
         self.txt_depth = 0
-        self.pe_branch_depth = 0  # inside a branch conditioned on ME
         self._scopes_for_unused: list[_Scope] = []
-        #: straight-line remote-write tracking for W102 (top level only)
-        self._pending_remote_writes: dict[str, SourcePos] = {}
-        #: symbols that appear in DUN MESIN WIF anywhere (for W103)
-        self._unlocked_symbols: set[str] = set()
-        self._locked_symbols: dict[str, SourcePos] = {}
 
     # -- public ------------------------------------------------------------
 
@@ -102,21 +99,9 @@ class Checker:
         for stmt in self.program.body:
             if isinstance(stmt, ast.FuncDef):
                 self.functions[stmt.name] = stmt
-        for stmt in ast.walk_statements(self.program.body):
-            if isinstance(stmt, ast.LockStmt) and stmt.kind == "unlock":
-                if isinstance(stmt.target, ast.VarRef):
-                    self._unlocked_symbols.add(stmt.target.name)
         root = _Scope()
         self._scopes_for_unused.append(root)
         self.check_block(self.program.body, root)
-        for name, pos in self._locked_symbols.items():
-            if name not in self._unlocked_symbols:
-                self._warn(
-                    "W103",
-                    f"lock on '{name}' is acquired but never released "
-                    f"(no DUN MESIN WIF {name} anywhere)",
-                    pos,
-                )
         for scope in self._scopes_for_unused:
             for info in scope.all_vars():
                 if not info.used and not info.name.startswith("_"):
@@ -125,7 +110,7 @@ class Checker:
                         f"variable '{info.name}' is declared but never used",
                         info.pos,
                     )
-        self.diags.sort(key=lambda d: (d.pos.line, d.pos.col, d.code))
+        self.diags.sort(key=sort_key)
         return self.diags
 
     # -- helpers -----------------------------------------------------------
@@ -187,14 +172,12 @@ class Checker:
                 [stmt.ya_rly, *[b for _, b in stmt.mebbe], stmt.no_wai],
                 [cond for cond, _ in stmt.mebbe],
                 scope,
-                pe_dependent=self._last_expr_pe_dependent,
             )
         elif isinstance(stmt, ast.Switch):
             self.check_branches(
                 [b for _, b in stmt.cases] + [stmt.default],
                 [lit for lit, _ in stmt.cases],
                 scope,
-                pe_dependent=self._last_expr_pe_dependent,
             )
         elif isinstance(stmt, ast.Loop):
             loop_scope = self._child(scope)
@@ -216,14 +199,7 @@ class Checker:
         elif isinstance(stmt, ast.Return):
             self.check_expr(stmt.expr, scope)
         elif isinstance(stmt, ast.Hugz):
-            if self.pe_branch_depth > 0:
-                self._warn(
-                    "W101",
-                    "HUGZ inside a PE-dependent branch: if some PEs take "
-                    "a different path, the barrier deadlocks",
-                    stmt.pos,
-                )
-            self._pending_remote_writes.clear()
+            pass  # barrier matching is the CFG analysis's job (W101)
         elif isinstance(stmt, ast.LockStmt):
             self.check_lock(stmt, scope)
         elif isinstance(stmt, ast.TxtStmt):
@@ -232,38 +208,23 @@ class Checker:
             self.check_block(stmt.body, scope)
             self.txt_depth -= 1
 
-        # track IT-feeding expressions for PE-dependence (O RLY? tests IT)
-        if isinstance(stmt, ast.ExprStmt):
-            self._last_it_pe_dependent = _mentions_me(stmt.expr)
-
-    _last_it_pe_dependent = False
-
-    @property
-    def _last_expr_pe_dependent(self) -> bool:
-        return self._last_it_pe_dependent
-
     def check_branches(
         self,
         bodies: list[list[ast.Stmt]],
         conds: list[ast.Expr],
         scope: _Scope,
-        *,
-        pe_dependent: bool,
     ) -> None:
         for cond in conds:
             self.check_expr(cond, scope)
-            pe_dependent = pe_dependent or _mentions_me(cond)
-        if pe_dependent:
-            self.pe_branch_depth += 1
         for body in bodies:
             self.check_block(body, self._child(scope))
-        if pe_dependent:
-            self.pe_branch_depth -= 1
 
     def check_lock(self, stmt: ast.LockStmt, scope: _Scope) -> None:
         target = stmt.target
         if not isinstance(target, ast.VarRef):
-            return  # SRS: dynamic, can't check statically
+            if isinstance(target, ast.SrsRef):
+                self.check_expr(target.expr, scope)
+            return  # SRS: dynamic, can't check the symbol statically
         info = scope.find(target.name)
         if info is None:
             self._err(
@@ -280,8 +241,6 @@ class Checker:
                 f"'WE HAS A {target.name} ... AN IM SHARIN IT'",
                 stmt.pos,
             )
-        if stmt.kind in ("lock", "trylock"):
-            self._locked_symbols.setdefault(target.name, stmt.pos)
 
     # -- expressions ----------------------------------------------------------
 
@@ -300,7 +259,16 @@ class Checker:
 
     def check_expr(self, expr: ast.Expr, scope: _Scope) -> None:
         for sub in _walk(expr):
-            if isinstance(sub, ast.VarRef):
+            if isinstance(sub, ast.StringLit):
+                # ``:{name}`` interpolations are reads: mark the
+                # variable used (undeclared names surface at runtime,
+                # not here — interpolation resolves dynamically).
+                for part in sub.parts:
+                    if isinstance(part, tuple):
+                        info = scope.find(part[1])
+                        if info is not None:
+                            info.used = True
+            elif isinstance(sub, ast.VarRef):
                 self._check_var(sub, scope, is_write=False,
                                 indexed=_is_index_base(expr, sub))
             elif isinstance(sub, ast.FuncCall):
@@ -346,23 +314,6 @@ class Checker:
         info.used = True
         if indexed and not info.is_array:
             self._err("E007", f"'{ref.name}' is not an array", ref.pos)
-        # W102: remote write then local read with no HUGZ between (top
-        # level straight-line heuristic).
-        if ref.qualifier == "UR" and is_write and info.symmetric:
-            self._pending_remote_writes[ref.name] = ref.pos
-        elif (
-            not is_write
-            and ref.qualifier != "UR"
-            and info.symmetric
-            and ref.name in self._pending_remote_writes
-        ):
-            self._warn(
-                "W102",
-                f"local read of '{ref.name}' after a remote write with no "
-                f"HUGZ in between (the Figure 2 race)",
-                ref.pos,
-            )
-            del self._pending_remote_writes[ref.name]
 
 
 def _walk(expr: ast.Expr):
@@ -394,12 +345,12 @@ def _is_index_base(root: ast.Expr, ref: ast.VarRef) -> bool:
     return False
 
 
-def _mentions_me(expr: ast.Expr) -> bool:
-    return any(isinstance(sub, ast.MeExpr) for sub in _walk(expr))
-
-
 def check_program(program: ast.Program) -> list[Diagnostic]:
-    return Checker(program).run()
+    """Scope/type pass plus the full CFG analysis stack, sorted."""
+    diags = Checker(program).run()
+    diags.extend(analyze_program(program))
+    diags.sort(key=sort_key)
+    return diags
 
 
 def check_source(source: str, filename: str = "<string>") -> list[Diagnostic]:

@@ -56,3 +56,18 @@ class LolRuntimeError(LolError):
 class LolParallelError(LolError):
     """Misuse of the parallel extensions (e.g. ``UR`` outside ``TXT MAH BFF``,
     locking a variable that was not declared ``AN IM SHARIN IT``)."""
+
+
+class LolStaticError(LolError):
+    """Static-analysis errors rejected before execution.
+
+    Raised by :func:`repro.launcher.spmd.run_lolcode` under
+    ``check="error"`` (and by ``lcc --check`` / ``lolcc --check``) when
+    the checker reports any ``E``-code diagnostic.  ``render`` shows
+    the first diagnostic; ``diagnostics`` carries the full list.
+    """
+
+    def __init__(self, message: str, pos: SourcePos | None = None,
+                 diagnostics: tuple = ()) -> None:
+        self.diagnostics = diagnostics
+        super().__init__(message, pos)

@@ -31,6 +31,7 @@ would break the symmetric-heap requirement — exactly as in OpenSHMEM).
 
 from __future__ import annotations
 
+import sys
 from functools import partial
 from typing import Optional, Sequence
 
@@ -162,6 +163,7 @@ def run_lolcode(
     barrier_timeout: float = DEFAULT_BARRIER_TIMEOUT,
     engine: str = "closure",
     fallback_engine: Optional[str] = None,
+    check: str = "off",
 ) -> SpmdResult:
     """Parse ``source`` once (for early syntax errors) and run it SPMD.
 
@@ -191,6 +193,13 @@ def run_lolcode(
     ``degraded_reason``.  Program errors (syntax, compile restrictions,
     runtime faults) never trigger the fallback: those would fail the
     same way — or worse, differently — on any engine.
+
+    ``check`` gates the static analyses (:mod:`repro.analysis`) before
+    launch: ``"off"`` (default) skips them, ``"warn"`` prints every
+    diagnostic to stderr and runs anyway, ``"error"`` additionally
+    refuses to launch (raises
+    :class:`~repro.lang.errors.LolStaticError`) when any ``E``-code is
+    reported.
     """
     if executor not in EXECUTORS:
         raise LolParallelError(
@@ -199,6 +208,11 @@ def run_lolcode(
     if engine not in ENGINES:
         raise LolParallelError(
             f"unknown engine {engine!r} (choose from {ENGINES})"
+        )
+    if check not in ("off", "warn", "error"):
+        raise LolParallelError(
+            f"unknown check mode {check!r} "
+            f"(choose from ('off', 'warn', 'error'))"
         )
     if fallback_engine is not None:
         if fallback_engine not in ENGINES:
@@ -225,6 +239,7 @@ def run_lolcode(
             race_detection=race_detection,
             max_steps=max_steps,
             barrier_timeout=barrier_timeout,
+            check=check,
         )
         try:
             return run(engine=engine)
@@ -241,6 +256,23 @@ def run_lolcode(
             return result
     # Surface syntax errors in the caller (cached: benches re-run sources).
     program = parse_cached(source, filename)
+    if check != "off":
+        from ..lang.checker import check_program
+        from ..lang.errors import LolStaticError
+
+        diags = check_program(program)
+        for diag in diags:
+            print(diag.render(), file=sys.stderr)
+        errors = [d for d in diags if d.is_error]
+        if check == "error" and errors:
+            first = errors[0]
+            raise LolStaticError(
+                f"{first.code}: {first.message} "
+                f"({len(errors)} static error(s); fix them or run with "
+                f"check='warn')",
+                first.pos,
+                diagnostics=tuple(diags),
+            )
     if engine == "c":
         # The native engine has exactly one execution vehicle: OS
         # processes running the binary the system C compiler produced.

@@ -500,8 +500,15 @@ class _Analyzer:
         if info.kind == SYMMETRIC:
             # One hoisted read of the own-PE cell standing for n reads is
             # a valid interleaving (run_vec requires the race detector
-            # off, and symmetric *writes* always bail).
-            if self.in_limit or info.is_array:
+            # off, and symmetric *writes* always bail).  In the limit
+            # position the read is hoisted across the whole loop, which
+            # is only sound when no peer can store to the symbol: the
+            # static analyzer proves that (facts.remote_unwritten).
+            if info.is_array:
+                raise _Bail
+            if self.in_limit and (
+                node.name not in self.compiler.facts.remote_unwritten
+            ):
                 raise _Bail
             reg = self.sym_regs.get(node.name)
             if reg is None:

@@ -1,0 +1,11 @@
+HAI 1.2
+BTW index 9 into a 4-slot array is definitely out (E008); arr'Z ME is
+BTW out for big worlds (W107); the counted loop verifies in-range.
+WE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4
+arr'Z 9 R 1
+arr'Z ME R 2
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 4
+  arr'Z i R i
+IM OUTTA YR l
+VISIBLE arr'Z 0
+KTHXBYE

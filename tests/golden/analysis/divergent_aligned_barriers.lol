@@ -1,0 +1,11 @@
+HAI 1.2
+BTW divergent branch, but BOTH arms hit exactly one HUGZ: aligned.
+BOTH SAEM ME AN 0
+O RLY?
+  YA RLY
+    VISIBLE "root"
+    HUGZ
+  NO WAI
+    HUGZ
+OIC
+KTHXBYE

@@ -1,0 +1,7 @@
+HAI 1.2
+BTW a PE-dependent trip count around a barrier: PEs fall out of the
+BTW loop at different rounds and stop meeting at the HUGZ.
+IM IN YR l UPPIN YR i TIL BOTH SAEM i AN ME
+  HUGZ
+IM OUTTA YR l
+KTHXBYE

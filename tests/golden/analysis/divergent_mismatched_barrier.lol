@@ -1,0 +1,9 @@
+HAI 1.2
+BTW only PE 0 reaches the HUGZ: everyone else sails past and PE 0
+BTW deadlocks at the barrier.
+BOTH SAEM ME AN 0
+O RLY?
+  YA RLY
+    HUGZ
+OIC
+KTHXBYE

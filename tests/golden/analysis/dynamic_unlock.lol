@@ -1,0 +1,9 @@
+HAI 1.2
+BTW DUN MESIN WIF SRS releases through a computed name: the analysis
+BTW must assume any lock may have been released (no W103).
+WE HAS A k ITZ SRSLY A NUMBR AN IM SHARIN IT
+I HAS A nm ITZ A YARN AN ITZ "k"
+IM SRSLY MESIN WIF k
+k R 1
+DUN MESIN WIF SRS nm
+KTHXBYE

@@ -1,0 +1,8 @@
+HAI 1.2
+BTW the paper's Figure 2 bug: the put may still be in flight when the
+BTW local read runs.
+WE HAS A x ITZ SRSLY A NUMBR
+I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ
+TXT MAH BFF nxt, UR x R ME
+VISIBLE x
+KTHXBYE

@@ -1,0 +1,11 @@
+HAI 1.2
+BTW only PE 0 takes the lock; at the join the lock state differs
+BTW across PEs and the uniform release is wrong on the others.
+WE HAS A k ITZ SRSLY A NUMBR AN IM SHARIN IT
+BOTH SAEM ME AN 0
+O RLY?
+  YA RLY
+    IM SRSLY MESIN WIF k
+OIC
+DUN MESIN WIF k
+KTHXBYE

@@ -1,0 +1,7 @@
+HAI 1.2
+BTW blocking re-acquire while already held: self-deadlock.
+WE HAS A k ITZ SRSLY A NUMBR AN IM SHARIN IT
+IM SRSLY MESIN WIF k
+IM SRSLY MESIN WIF k
+DUN MESIN WIF k
+KTHXBYE

@@ -1,0 +1,16 @@
+HAI 1.2
+BTW the lock is released on BOTH arms: the old "no DUN MESIN WIF
+BTW anywhere" heuristic is replaced by a real every-path proof.
+WE HAS A k ITZ SRSLY A NUMBR AN IM SHARIN IT
+IM SRSLY MESIN WIF k
+I HAS A n ITZ A NUMBR AN ITZ 1
+BOTH SAEM n AN 1
+O RLY?
+  YA RLY
+    k R 1
+    DUN MESIN WIF k
+  NO WAI
+    k R 2
+    DUN MESIN WIF k
+OIC
+KTHXBYE

@@ -1,0 +1,14 @@
+HAI 1.2
+BTW the idiomatic try-lock spin: IM MESIN WIF puts the outcome in IT,
+BTW the YA RLY edge is refined to "held", so the release verifies.
+WE HAS A k ITZ SRSLY A NUMBR AN IM SHARIN IT
+IM IN YR spin
+  IM MESIN WIF k
+  O RLY?
+    YA RLY
+      k R SUM OF k AN 1
+      DUN MESIN WIF k
+      GTFO
+  OIC
+IM OUTTA YR spin
+KTHXBYE

@@ -1,0 +1,10 @@
+HAI 1.2
+BTW a barrier under a UNIFORM branch: every PE takes the same path,
+BTW so the old "HUGZ inside any branch" heuristic was wrong to warn.
+I HAS A n ITZ A NUMBR AN ITZ 4
+BOTH SAEM n AN 4
+O RLY?
+  YA RLY
+    HUGZ
+OIC
+KTHXBYE

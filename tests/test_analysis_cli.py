@@ -1,0 +1,151 @@
+"""`lollint` CLI contract: formats, exit codes, per-code disables."""
+
+import json
+
+import pytest
+
+from repro.cli import lcc_main, lollint_main, lolrun_main
+
+CLEAN = "HAI 1.2\nVISIBLE 1\nKTHXBYE\n"
+WARNY = (
+    "HAI 1.2\n"
+    "WE HAS A x ITZ SRSLY A NUMBR\n"
+    "I HAS A nxt ITZ A NUMBR AN ITZ MOD OF SUM OF ME AN 1 AN MAH FRENZ\n"
+    "TXT MAH BFF nxt, UR x R ME\n"
+    "VISIBLE x\n"
+    "KTHXBYE\n"
+)
+BAD = "HAI 1.2\nVISIBLE nope\nKTHXBYE\n"
+UNPARSEABLE = "HAI 1.2\nO RLY NOT EVEN CLOSE\n"
+
+
+@pytest.fixture
+def lol(tmp_path):
+    def write(name, text):
+        p = tmp_path / name
+        p.write_text(text)
+        return str(p)
+
+    return write
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, lol):
+        assert lollint_main([lol("ok.lol", CLEAN)]) == 0
+
+    def test_warnings_are_zero_without_strict(self, lol, capsys):
+        assert lollint_main([lol("warn.lol", WARNY)]) == 0
+        assert "W102" in capsys.readouterr().out
+
+    def test_warnings_are_one_under_strict(self, lol):
+        assert lollint_main(["--strict", lol("warn.lol", WARNY)]) == 1
+
+    def test_errors_are_two(self, lol):
+        assert lollint_main([lol("bad.lol", BAD)]) == 2
+
+    def test_errors_are_two_even_under_strict(self, lol):
+        assert lollint_main(["--strict", lol("bad.lol", BAD)]) == 2
+
+    def test_parse_error_is_two_as_e000(self, lol, capsys):
+        assert lollint_main([lol("broken.lol", UNPARSEABLE)]) == 2
+        assert "E000" in capsys.readouterr().out
+
+    def test_worst_file_wins(self, lol):
+        rc = lollint_main([lol("ok.lol", CLEAN), lol("bad.lol", BAD)])
+        assert rc == 2
+
+
+class TestDisable:
+    def test_disable_silences_the_code(self, lol, capsys):
+        rc = lollint_main(
+            ["--strict", "--disable", "W102", lol("warn.lol", WARNY)]
+        )
+        assert rc == 0
+        assert "W102" not in capsys.readouterr().out
+
+    def test_disable_is_repeatable(self, lol):
+        src = WARNY.replace("VISIBLE x\n", "I HAS A unused ITZ 1\nVISIBLE x\n")
+        rc = lollint_main(
+            [
+                "--strict",
+                "--disable",
+                "W102",
+                "--disable",
+                "W104",
+                lol("warn.lol", src),
+            ]
+        )
+        assert rc == 0
+
+    def test_disable_does_not_mask_exit_for_other_codes(self, lol):
+        assert (
+            lollint_main(["--disable", "W102", lol("bad.lol", BAD)]) == 2
+        )
+
+
+class TestFormats:
+    def test_text_includes_fixit_line(self, lol, capsys):
+        lollint_main([lol("warn.lol", WARNY)])
+        out = capsys.readouterr().out
+        assert "fix: insert `HUGZ`" in out
+
+    def test_json_document(self, lol, capsys):
+        lollint_main(["--format", "json", lol("warn.lol", WARNY)])
+        doc = json.loads(capsys.readouterr().out)
+        assert any(d["code"] == "W102" for d in doc)
+
+    def test_sarif_document(self, lol, capsys):
+        lollint_main(["--format", "sarif", lol("warn.lol", WARNY)])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "W102" for r in doc["runs"][0]["results"]
+        )
+
+    def test_sarif_collects_multiple_files(self, lol, capsys):
+        lollint_main(
+            [
+                "--format",
+                "sarif",
+                lol("a.lol", WARNY),
+                lol("b.lol", BAD),
+            ]
+        )
+        doc = json.loads(capsys.readouterr().out)
+        uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"][
+                "uri"
+            ]
+            for r in doc["runs"][0]["results"]
+        }
+        assert len(uris) == 2
+
+    def test_errors_only_filter(self, lol, capsys):
+        lollint_main(["--errors-only", lol("warn.lol", WARNY)])
+        assert "W102" not in capsys.readouterr().out
+
+
+class TestCompileGates:
+    def test_lcc_check_blocks_errors(self, lol, capsys):
+        assert lcc_main(["--check", lol("bad.lol", BAD)]) == 2
+        assert "E001" in capsys.readouterr().err
+
+    def test_lcc_check_allows_warnings(self, lol, capsys, tmp_path):
+        out = tmp_path / "out.c"
+        rc = lcc_main(["--check", lol("warn.lol", WARNY), "-o", str(out)])
+        assert rc == 0
+        assert "W102" in capsys.readouterr().err
+        assert out.exists()
+
+    def test_lolrun_check_error_refuses(self, lol, capsys):
+        src = (
+            "HAI 1.2\n"
+            "WE HAS A arr ITZ SRSLY LOTZ A NUMBRS AN THAR IZ 4\n"
+            "arr'Z 9 R 1\n"
+            "KTHXBYE\n"
+        )
+        rc = lolrun_main(
+            ["--check", "error", "-np", "1", lol("oob.lol", src)]
+        )
+        assert rc == 1
+        assert "E008" in capsys.readouterr().err

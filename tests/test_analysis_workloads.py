@@ -1,0 +1,82 @@
+"""The analysis false-positive contract over real kernels.
+
+Every bundled example and every registry workload (at two parameter
+scales) is linted; the racy n-body variants must flag their race and
+every other kernel must stay silent of parallel-correctness
+diagnostics.  This is the guardrail that keeps the analyses *useful*:
+a checker that cries wolf on the halo exchange or the tree reduction
+would be turned off.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.lang.checker import check_source
+from repro.workloads import all_workloads, get_workload
+
+EXAMPLES = sorted(glob.glob(os.path.join("examples", "lol", "*.lol")))
+
+#: parallel-correctness codes that must never false-positive
+PARALLEL_CODES = {"E008", "W101", "W102", "W103", "W105", "W106", "W107"}
+
+RACY = {"nbody_racy"}
+RACY_EXAMPLES = {os.path.join("examples", "lol", "nbody2d.lol")}
+
+
+def _workload_cases():
+    cases = []
+    for wl in all_workloads():
+        for scale in ("smoke", "default"):
+            cases.append(pytest.param(wl.name, scale, id=f"{wl.name}-{scale}"))
+    return cases
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=os.path.basename)
+def test_examples_lint(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    diags = check_source(source, filename=path)
+    flagged = {d.code for d in diags if d.code in PARALLEL_CODES}
+    if path in RACY_EXAMPLES:
+        assert "W102" in flagged, f"{path} must keep flagging its race"
+        assert flagged == {"W102"}
+    else:
+        assert not flagged, [d.render() for d in diags]
+
+
+@pytest.mark.parametrize("name,scale", _workload_cases())
+def test_workloads_lint(name, scale):
+    wl = get_workload(name)
+    source = wl.source(smoke=(scale == "smoke"))
+    diags = check_source(source, filename=name)
+    flagged = {d.code for d in diags if d.code in PARALLEL_CODES}
+    if name in RACY:
+        assert "W102" in flagged, f"{name} must keep flagging its race"
+        assert flagged == {"W102"}
+    else:
+        assert not flagged, [d.render() for d in diags]
+    # no unexplained errors anywhere: the kernels are all valid programs
+    assert not [d for d in diags if d.is_error], [
+        d.render() for d in diags
+    ]
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=os.path.basename)
+def test_every_diagnostic_has_a_real_position(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    for d in check_source(source, filename=path):
+        assert d.pos.line > 0, d.render()
+        assert d.pos.col > 0, d.render()
+        assert d.pos.filename == path
+
+
+def test_workload_diagnostics_have_real_positions():
+    for wl in all_workloads():
+        for d in check_source(wl.source(smoke=True), filename=wl.name):
+            assert d.pos.line > 0 and d.pos.col > 0, (
+                wl.name,
+                d.render(),
+            )

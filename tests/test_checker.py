@@ -127,6 +127,11 @@ class TestWarningCodes:
     def test_w104_not_for_used(self):
         assert "W104" not in codes("I HAS A x ITZ 1\nVISIBLE x")
 
+    def test_w104_not_for_string_interpolation(self):
+        assert "W104" not in codes(
+            'I HAS A x ITZ 1\nVISIBLE "x is :{x}"'
+        )
+
 
 class TestOnPaperExamples:
     def test_barrier_example_clean(self, example_path):
@@ -153,12 +158,12 @@ class TestLollintCli:
         p.write_text("HAI 1.2\nVISIBLE 1\nKTHXBYE\n")
         assert lollint_main([str(p)]) == 0
 
-    def test_error_exit_one(self, tmp_path, capsys):
+    def test_error_exit_two(self, tmp_path, capsys):
         from repro.cli import lollint_main
 
         p = tmp_path / "bad.lol"
         p.write_text("HAI 1.2\nVISIBLE nope\nKTHXBYE\n")
-        assert lollint_main([str(p)]) == 1
+        assert lollint_main([str(p)]) == 2
         assert "E001" in capsys.readouterr().out
 
     def test_errors_only_filter(self, tmp_path, capsys):
