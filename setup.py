@@ -25,6 +25,8 @@ setup(
             "lolfmt=repro.cli:lolfmt_main",
             "lolbench=repro.cli:lolbench_main",
             "lolserve=repro.cli:lolserve_main",
+            "loltrace=repro.cli:loltrace_main",
+            "lolprof=repro.cli:lolprof_main",
         ]
     },
 )

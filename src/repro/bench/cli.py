@@ -111,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression threshold as a fraction (default 0.20 = 20%%)",
     )
     parser.add_argument(
+        "--obs", action="store_true",
+        help="attach per-row observability blocks (barrier-wait p50/p99, "
+        "comm-op counts, VM events) via one extra instrumented run per "
+        "row; timed reps stay uninstrumented",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list registered workloads and exit"
     )
     return parser
@@ -143,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             seed=args.seed,
             smoke=args.smoke,
             params=_parse_set(args.overrides),
+            obs=args.obs,
         )
         config.selected()  # validate workload names before sweeping
         payload = run_sweep(config)

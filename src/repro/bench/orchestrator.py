@@ -27,12 +27,12 @@ an error — the matrix stays green on interpreter-only machines.
 
 from __future__ import annotations
 
+import json
 import platform
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
-import numpy as np
 
 from ..compiler import CompileError, NativeToolchainError
 from ..compiler.native import uses_random
@@ -54,15 +54,10 @@ def best_of(fn, reps: int) -> float:
     return best
 
 
-def percentile(samples: Sequence[float], q: float) -> float:
-    """Linear-interpolated ``q``-th percentile (0..100) of ``samples``.
-
-    Shared latency helper for the sweep and the service-throughput
-    benchmark (p50/p99 rows in ``BENCH_service.json``).
-    """
-    if not samples:
-        raise ValueError("percentile of no samples")
-    return float(np.percentile(list(samples), q))
+# The shared p50/p99 helper now lives in the observability plane
+# (histogram summaries use it too); re-exported here so every historic
+# ``from repro.bench import percentile`` import keeps working.
+from ..obs import percentile  # noqa: E402,F401
 
 
 def default_machines() -> List[MachineModel]:
@@ -84,6 +79,10 @@ class SweepConfig:
     #: per-workload param overrides, e.g. {"nbody": {"particles": 16}}
     params: Mapping[str, Mapping[str, int]] = field(default_factory=dict)
     machines: Optional[Sequence[MachineModel]] = None
+    #: attach an ``obs`` block (barrier-wait p50/p99, comm-op counts,
+    #: VM engine events) to every row via one extra metrics-armed run —
+    #: outside the timed reps, so ``seconds`` stays uninstrumented
+    obs: bool = False
 
     def selected(self) -> List[Workload]:
         if not self.workloads:
@@ -161,6 +160,8 @@ def _measure_cell(
         outputs[engine] = traced.output
         once()  # warm the untraced compile cache before timing
         row["seconds"] = round(best_of(once, config.reps), 6)
+        if config.obs and not native:
+            row["obs"] = _instrumented_run(once)
         if traced.trace is not None:
             row["trace"] = traced.trace.summary()
             row["projections"] = projection_rows(traced.trace, list(machines))
@@ -200,6 +201,55 @@ def _measure_cell(
                 f"output differs from engine {baseline_engine!r}"
             )
     return rows
+
+
+def _instrumented_run(once) -> dict:
+    """One extra metrics-armed run for a row's ``obs`` block.
+
+    Snapshot-diffing (rather than draining) means a concurrently armed
+    caller keeps its registry intact; arming state is restored after.
+    """
+    from .. import obs as _obs
+
+    prior = _obs.ACTIVE
+    if prior is None or not prior.metrics_on:
+        _obs.arm(prior.mode + ",metrics" if prior is not None else "metrics")
+    reg = _obs.get_registry()
+    before = reg.snapshot(collect=False)
+    try:
+        once()
+    finally:
+        after = reg.snapshot(collect=False)
+        if prior is None:
+            _obs.disarm()
+        else:
+            _obs.ACTIVE = prior
+    delta = _obs.diff_snapshots(before, after)
+    out: dict = {}
+    bar = delta.get("lol_barrier_wait_seconds")
+    if bar and bar.get("series"):
+        samples = [
+            s for state in bar["series"].values() for s in state["samples"]
+        ]
+        count = sum(state["count"] for state in bar["series"].values())
+        if samples:
+            out["barrier_wait"] = {
+                "count": count,
+                "p50_s": round(percentile(samples, 50), 9),
+                "p99_s": round(percentile(samples, 99), 9),
+            }
+    for metric, label, key in (
+        ("lol_comm_ops_total", "op", "comm_ops"),
+        ("lol_comm_bytes_total", "op", "comm_bytes"),
+        ("lol_vm_events_total", "event", "vm_events"),
+    ):
+        payload = delta.get(metric)
+        if payload and payload.get("series"):
+            out[key] = {
+                dict(json.loads(raw)).get(label, "?"): value
+                for raw, value in sorted(payload["series"].items())
+            }
+    return out
 
 
 def run_sweep(config: SweepConfig) -> dict:

@@ -18,6 +18,10 @@
   :mod:`repro.workloads` registry (also ``python -m repro.bench``).
 * ``lolserve`` — persistent execution service: warm worker pool behind a
   JSON-over-unix-socket job queue (:mod:`repro.service`).
+* ``loltrace`` — run a program or workload with tracing armed and write
+  Chrome trace-event JSON (opens in Perfetto; :mod:`repro.obs`).
+* ``lolprof`` — per-opcode VM profiler: self-time and dispatch counts
+  for the register-bytecode engine.
 """
 
 from __future__ import annotations
@@ -360,6 +364,20 @@ def lolbench_main(argv: Optional[Sequence[str]] = None) -> int:
 def lolserve_main(argv: Optional[Sequence[str]] = None) -> int:
     """Execution service CLI (thin alias for ``repro.service.cli.main``)."""
     from .service.cli import main
+
+    return main(argv)
+
+
+def loltrace_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Traced run -> Chrome trace JSON (alias for ``repro.obs.cli``)."""
+    from .obs.cli import loltrace_main as main
+
+    return main(argv)
+
+
+def lolprof_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Per-opcode VM profiler (alias for ``repro.obs.cli``)."""
+    from .obs.cli import lolprof_main as main
 
     return main(argv)
 

@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
 from typing import Optional, Sequence
 
+from .. import obs as _obs
 from ..faults import inject
 from ..lang.errors import LolError, LolParallelError
 from ..lang.parser import parse_cached
@@ -78,33 +79,31 @@ _BUILD_MEMO_MAX = 256
 #: fault).  A compiler that runs and *rejects* the C is never retried.
 DEFAULT_BUILD_RETRIES = 2
 
-#: Observability counters for the build/cache plane, surfaced through
-#: ``lolserve stats`` (``native``) next to the pool's respawn counters.
-_STATS_LOCK = threading.Lock()
-_STATS = {
-    "builds": 0,
-    "cache_hits": 0,
-    "corrupt_rebuilds": 0,
-    "transient_retries": 0,
-}
+#: Observability counters for the build/cache plane: one registry
+#: counter family labelled by event, so ``lolserve stats`` (``native``)
+#: and the Prometheus ``metrics`` op read the *same* series — the
+#: registry is the single source of truth, not a copy that can drift.
+_NATIVE_EVENTS = ("builds", "cache_hits", "corrupt_rebuilds", "transient_retries")
+_M_NATIVE = _obs.get_registry().counter(
+    "lol_native_events_total",
+    "Native build/cache events (builds, cache hits, corrupt rebuilds, "
+    "transient cc retries)",
+)
 
 
 def _bump(key: str) -> None:
-    with _STATS_LOCK:
-        _STATS[key] += 1
+    _M_NATIVE.inc(event=key)
 
 
 def native_stats() -> dict:
-    """Snapshot of the native build/cache counters."""
-    with _STATS_LOCK:
-        return dict(_STATS)
+    """Snapshot of the native build/cache counters (the ``native``
+    block of ``lolserve stats``) — read straight off the registry."""
+    return {key: int(_M_NATIVE.value(event=key)) for key in _NATIVE_EVENTS}
 
 
 def reset_native_stats() -> None:
     """Zero the counters (test isolation)."""
-    with _STATS_LOCK:
-        for key in _STATS:
-            _STATS[key] = 0
+    _M_NATIVE.reset()
 
 
 @lru_cache(maxsize=1)
@@ -312,6 +311,8 @@ def build_native(
         workdir = pathlib.Path(
             tempfile.mkdtemp(prefix="build-", dir=cache_dir())
         )
+        rt = _obs.ACTIVE
+        t0 = time.perf_counter() if rt is not None else 0.0
         try:
             tu = workdir / "program.c"
             tu.write_text(c_source)
@@ -372,6 +373,14 @@ def build_native(
             os.replace(tmp_sum, _checksum_path(binary))
             os.replace(tmp_bin, binary)  # atomic vs. concurrent builders
             _bump("builds")
+            if rt is not None and rt.trace_on:
+                rt.tracer.complete(
+                    "build",
+                    "cc",
+                    t0,
+                    time.perf_counter() - t0,
+                    args={"cc": cc, "binary": binary.name, "attempts": attempt},
+                )
             return binary
         finally:
             shutil.rmtree(workdir, ignore_errors=True)

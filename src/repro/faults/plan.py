@@ -318,6 +318,37 @@ def plan_from_rules(seed: int, rules: Iterable[dict]) -> FaultPlan:
     )
 
 
+def _fault_collector() -> None:
+    """Publish the arrival/fire maps as per-site gauges (point-in-time
+    reads of cumulative dicts, pid-tagged on cross-process drains)."""
+    from .. import obs as _obs
+
+    stats = fault_stats()
+    if stats is None:
+        return  # never armed here: emit nothing rather than zeros
+    reg = _obs.get_registry()
+    reg.gauge("lol_faults_armed", "1 while a fault plan is active").set(
+        1 if stats["armed"] else 0
+    )
+    arrivals = reg.gauge(
+        "lol_fault_arrivals", "Calls reaching each injection site"
+    )
+    for site, n in stats["arrivals"].items():
+        arrivals.set(n, site=site)
+    fires = reg.gauge("lol_fault_fires", "Faults actually fired per site")
+    for site, n in stats["fires"].items():
+        fires.set(n, site=site)
+
+
+def _register_obs_collector() -> None:
+    from .. import obs as _obs
+
+    _obs.get_registry().register_collector(_fault_collector)
+
+
+_register_obs_collector()
+
+
 # Arm from the environment at import time: spawned subprocesses (pool
 # workers, native PEs' parents) inherit ``LOL_FAULTS`` and re-import
 # this module, so a plan exported by the test/CI driver reaches every

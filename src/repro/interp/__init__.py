@@ -107,6 +107,47 @@ def compile_vm_cached(
     )
 
 
+def _compile_cache_collector() -> None:
+    """Publish ``cache_info()`` of every compile front-end as gauges
+    (collector-derived point-in-time reads, hence gauges not counters),
+    so the Prometheus ``metrics`` op shows cache efficiency without a
+    second hand-assembled stats path."""
+    from .. import obs as _obs
+    from ..compiler.py_backend import compile_python_cached
+    from ..lang.parser import parse_cached
+
+    reg = _obs.get_registry()
+    hits = reg.gauge(
+        "lol_compile_cache_hits", "LRU hits per compile front-end"
+    )
+    misses = reg.gauge(
+        "lol_compile_cache_misses", "LRU misses per compile front-end"
+    )
+    size = reg.gauge(
+        "lol_compile_cache_entries", "Live LRU entries per compile front-end"
+    )
+    caches = {
+        "parse": parse_cached,
+        "closure": compile_closures_cached,
+        "vm": compile_vm_cached,
+        "py": compile_python_cached,
+    }
+    for name, fn in caches.items():
+        info = fn.cache_info()
+        hits.set(info.hits, cache=name)
+        misses.set(info.misses, cache=name)
+        size.set(info.currsize, cache=name)
+
+
+def _register_obs_collector() -> None:
+    from .. import obs as _obs
+
+    _obs.get_registry().register_collector(_compile_cache_collector)
+
+
+_register_obs_collector()
+
+
 __all__ = [
     "Binding",
     "Env",

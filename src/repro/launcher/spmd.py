@@ -32,9 +32,11 @@ would break the symmetric-heap requirement — exactly as in OpenSHMEM).
 from __future__ import annotations
 
 import sys
+from contextlib import nullcontext
 from functools import partial
 from typing import Optional, Sequence
 
+from .. import obs as _obs
 from ..lang import ast
 from ..lang.errors import LolParallelError
 from ..lang.parser import parse_cached
@@ -117,6 +119,10 @@ def _pe_main(
 ) -> None:
     """Module-level worker so the process executor can pickle it.
 
+    When the observability plane is armed for tracing, the engine body
+    runs inside a per-PE ``run`` span (one per PE, the parents of that
+    PE's comm spans); disarmed, the wrapper is one ``None`` check.
+
     Engine dispatch happens here (rather than in ``run_lolcode``) because
     neither compiled closures nor exec'd ``pe_main`` modules are
     picklable: thread PEs share one compiled program through the
@@ -126,18 +132,56 @@ def _pe_main(
     natively by the ``vm`` and ``ast`` engines only; the launcher
     rejects it for every other engine before dispatch.
     """
+    rt = _obs.ACTIVE
+    if rt is not None and rt.trace_on:
+        with rt.tracer.span(
+            "run",
+            f"pe{ctx.my_pe}",
+            tid=f"PE-{ctx.my_pe}",
+            args={"engine": engine, "pe": ctx.my_pe},
+        ):
+            _pe_body(source, filename, max_steps, engine, ctx)
+        return
+    _pe_body(source, filename, max_steps, engine, ctx)
+
+
+def _compile_span(fn, engine: str, ctx: ShmemContext, *args):
+    """Call a cached compile front-end inside a ``compile`` span when
+    tracing is armed (a cache hit shows up as a ~0-duration span)."""
+    rt = _obs.ACTIVE
+    if rt is None or not rt.trace_on:
+        return fn(*args)
+    with rt.tracer.span("compile", engine, tid=f"PE-{ctx.my_pe}"):
+        return fn(*args)
+
+
+def _pe_body(
+    source: str, filename: str, max_steps, engine: str, ctx: ShmemContext
+) -> None:
+    """Engine dispatch for one PE (see :func:`_pe_main`)."""
     if engine == "vm":
         # The VM counts statement steps in its own dispatch loop, so a
         # max_steps limit never changes which engine runs.  count_flops
         # (like the closure engine) keys off whether tracing is on.
-        compile_vm_cached(
-            source, filename, ctx.trace is not None, max_steps is not None
+        _compile_span(
+            compile_vm_cached,
+            engine,
+            ctx,
+            source,
+            filename,
+            ctx.trace is not None,
+            max_steps is not None,
         ).run(ctx, max_steps=max_steps)
         return
     if max_steps is None:
         if engine == "closure":
-            compiled = compile_closures_cached(
-                source, filename, ctx.trace is not None
+            compiled = _compile_span(
+                compile_closures_cached,
+                engine,
+                ctx,
+                source,
+                filename,
+                ctx.trace is not None,
             )
             compiled.run(ctx)
             return
@@ -255,7 +299,12 @@ def run_lolcode(
             )
             return result
     # Surface syntax errors in the caller (cached: benches re-run sources).
-    program = parse_cached(source, filename)
+    rt = _obs.ACTIVE
+    if rt is not None and rt.trace_on:
+        with rt.tracer.span("compile", "parse", args={"filename": filename}):
+            program = parse_cached(source, filename)
+    else:
+        program = parse_cached(source, filename)
     if check != "off":
         from ..lang.checker import check_program
         from ..lang.errors import LolStaticError
@@ -273,88 +322,109 @@ def run_lolcode(
                 first.pos,
                 diagnostics=tuple(diags),
             )
-    if engine == "c":
-        # The native engine has exactly one execution vehicle: OS
-        # processes running the binary the system C compiler produced.
-        # Every knob it cannot honour is refused loudly — a silent
-        # fallback to an interpreter would misreport what ran.
-        if executor not in ("process", "serial"):
-            raise LolParallelError(
-                f"engine='c' runs PEs as native OS processes; use "
-                f"executor='process' (got {executor!r})"
+    # One ``launch`` root span per run when tracing is armed: every
+    # per-PE run span and the scheduler/pool spans nest under it.
+    _launch_span = (
+        rt.tracer.span(
+            "launch",
+            f"{executor}/{engine}",
+            args={"n_pes": n_pes, "filename": filename},
+        )
+        if rt is not None and rt.trace_on
+        else nullcontext()
+    )
+    with _launch_span:
+        if engine == "c":
+            # The native engine has exactly one execution vehicle: OS
+            # processes running the binary the system C compiler produced.
+            # Every knob it cannot honour is refused loudly — a silent
+            # fallback to an interpreter would misreport what ran.
+            if executor not in ("process", "serial"):
+                raise LolParallelError(
+                    f"engine='c' runs PEs as native OS processes; use "
+                    f"executor='process' (got {executor!r})"
+                )
+            if executor == "serial" and n_pes != 1:
+                raise LolParallelError(
+                    f"serial executor runs exactly 1 PE, got {n_pes}"
+                )
+            if max_steps is not None:
+                raise LolParallelError(
+                    "engine='c' does not support max_steps; use engine='ast' "
+                    "(the step-counting tree-walker)"
+                )
+            if trace:
+                raise LolParallelError(
+                    "engine='c' does not support op tracing (native binaries "
+                    "are not instrumented); use engine='closure' or "
+                    "'compiled' for traced runs"
+                )
+            if race_detection:
+                raise LolParallelError(
+                    "race detection requires the thread executor"
+                )
+            # Compile restrictions (CompileError) and a missing C toolchain
+            # (NativeToolchainError) both surface here, in the caller.
+            from ..compiler.native import run_native_source
+
+            return run_native_source(
+                source,
+                n_pes,
+                filename=filename,
+                seed=seed,
+                stdin_lines=stdin_lines,
+                barrier_timeout=barrier_timeout,
             )
-        if executor == "serial" and n_pes != 1:
+        if engine == "closure" and max_steps is not None:
+            # This used to fall back silently to the tree-walker, which made
+            # "closure with a step limit" report ast-engine timings and let
+            # interpret-only programs slip through.  Refuse loudly instead,
+            # like the compiled engines do, and point at the engines that
+            # count steps natively.
             raise LolParallelError(
-                f"serial executor runs exactly 1 PE, got {n_pes}"
-            )
-        if max_steps is not None:
-            raise LolParallelError(
-                "engine='c' does not support max_steps; use engine='ast' "
+                "engine='closure' does not support max_steps; use engine='vm' "
+                "(step counting in the bytecode dispatch loop) or engine='ast' "
                 "(the step-counting tree-walker)"
             )
-        if trace:
-            raise LolParallelError(
-                "engine='c' does not support op tracing (native binaries "
-                "are not instrumented); use engine='closure' or "
-                "'compiled' for traced runs"
-            )
-        if race_detection:
-            raise LolParallelError(
-                "race detection requires the thread executor"
-            )
-        # Compile restrictions (CompileError) and a missing C toolchain
-        # (NativeToolchainError) both surface here, in the caller.
-        from ..compiler.native import run_native_source
+        if engine == "compiled":
+            if max_steps is not None:
+                # The closure engine's documented max_steps fallback to the
+                # tree-walker would be a *silent engine swap* here: callers
+                # probing compiled-engine compatibility would see interpret-
+                # only programs "succeed".  Refuse instead.
+                raise LolParallelError(
+                    "engine='compiled' does not support max_steps; use "
+                    "engine='ast' (the step-counting tree-walker)"
+                )
+            # Surface compile-time restrictions (SRS, nested declarations, …)
+            # in the caller too, instead of from inside a worker thread; this
+            # also warms the exact LRU key the thread PEs will share.
+            compile_python_cached(source, filename, trace)
+        worker = partial(_pe_main, source, filename, max_steps, engine)
 
-        return run_native_source(
-            source,
-            n_pes,
-            filename=filename,
-            seed=seed,
-            stdin_lines=stdin_lines,
-            barrier_timeout=barrier_timeout,
-        )
-    if engine == "closure" and max_steps is not None:
-        # This used to fall back silently to the tree-walker, which made
-        # "closure with a step limit" report ast-engine timings and let
-        # interpret-only programs slip through.  Refuse loudly instead,
-        # like the compiled engines do, and point at the engines that
-        # count steps natively.
-        raise LolParallelError(
-            "engine='closure' does not support max_steps; use engine='vm' "
-            "(step counting in the bytecode dispatch loop) or engine='ast' "
-            "(the step-counting tree-walker)"
-        )
-    if engine == "compiled":
-        if max_steps is not None:
-            # The closure engine's documented max_steps fallback to the
-            # tree-walker would be a *silent engine swap* here: callers
-            # probing compiled-engine compatibility would see interpret-
-            # only programs "succeed".  Refuse instead.
-            raise LolParallelError(
-                "engine='compiled' does not support max_steps; use "
-                "engine='ast' (the step-counting tree-walker)"
-            )
-        # Surface compile-time restrictions (SRS, nested declarations, …)
-        # in the caller too, instead of from inside a worker thread; this
-        # also warms the exact LRU key the thread PEs will share.
-        compile_python_cached(source, filename, trace)
-    worker = partial(_pe_main, source, filename, max_steps, engine)
+        if executor in ("process", "pool"):
+            if race_detection:
+                raise LolParallelError(
+                    "race detection requires the thread executor"
+                )
+            plan = plan_from_program(program, n_pes)
+            if executor == "pool":
+                # Warm worker pool (repro.service): same worlds and the
+                # same SpmdResult as the cold process executor, but the
+                # worker processes persist across calls.  Imported lazily —
+                # the service layer is optional for plain launches.
+                from ..service.pool import run_pooled
 
-    if executor in ("process", "pool"):
-        if race_detection:
-            raise LolParallelError(
-                "race detection requires the thread executor"
-            )
-        plan = plan_from_program(program, n_pes)
-        if executor == "pool":
-            # Warm worker pool (repro.service): same worlds and the
-            # same SpmdResult as the cold process executor, but the
-            # worker processes persist across calls.  Imported lazily —
-            # the service layer is optional for plain launches.
-            from ..service.pool import run_pooled
-
-            return run_pooled(
+                return run_pooled(
+                    worker,
+                    n_pes,
+                    plan,
+                    seed=seed,
+                    stdin_lines=stdin_lines,
+                    trace=trace,
+                    barrier_timeout=barrier_timeout,
+                )
+            return run_spmd_procs(
                 worker,
                 n_pes,
                 plan,
@@ -363,30 +433,21 @@ def run_lolcode(
                 trace=trace,
                 barrier_timeout=barrier_timeout,
             )
-        return run_spmd_procs(
+
+        if executor == "serial" and n_pes != 1:
+            raise LolParallelError(
+                f"serial executor runs exactly 1 PE, got {n_pes}"
+            )
+        return run_spmd(
             worker,
             n_pes,
-            plan,
             seed=seed,
             stdin_lines=stdin_lines,
             trace=trace,
+            trace_detail=trace_detail,
+            race_detection=race_detection,
             barrier_timeout=barrier_timeout,
         )
-
-    if executor == "serial" and n_pes != 1:
-        raise LolParallelError(
-            f"serial executor runs exactly 1 PE, got {n_pes}"
-        )
-    return run_spmd(
-        worker,
-        n_pes,
-        seed=seed,
-        stdin_lines=stdin_lines,
-        trace=trace,
-        trace_detail=trace_detail,
-        race_detection=race_detection,
-        barrier_timeout=barrier_timeout,
-    )
 
 
 def run_file(path: str, n_pes: int = 1, **kwargs) -> SpmdResult:

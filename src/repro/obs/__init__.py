@@ -1,0 +1,217 @@
+"""Zero-cost-when-disabled observability plane.
+
+Three pillars (ISSUE 9 / ROADMAP item 3):
+
+* **tracing** (:mod:`repro.obs.tracing`) — span records for compile,
+  native build, launch, per-PE run, barrier/put/get, pool job
+  send/reply and scheduler queue→dispatch→done, exported as Chrome
+  trace-event JSON (``loltrace``, opens in Perfetto);
+* **metrics** (:mod:`repro.obs.metrics`) — a central registry of
+  counters/gauges/histograms that absorbs every previously ad-hoc
+  counter and renders Prometheus text exposition (``lolserve stats
+  --format prom``, the ``metrics`` server op);
+* **profiling** (:mod:`repro.obs.vmprof`) — an opt-in per-opcode VM
+  profiler (``lolprof``) and per-PE barrier-wait histograms.
+
+Arming follows the fault-plane pattern from :mod:`repro.faults.plan`:
+one module global, :data:`ACTIVE`, is ``None`` until armed.  Hot sites
+read it as a bare attribute::
+
+    from .. import obs as _obs
+    ...
+    rt = _obs.ACTIVE
+    if rt is not None:
+        t0 = time.perf_counter()
+
+so the disarmed cost is a single attribute load and ``None`` test —
+the same guarantee the fault plane gives, checked by
+``tools/check_obs_overhead.py``.
+
+The ``LOL_OBS`` environment variable arms the plane at import time
+(``trace``, ``metrics``, ``profile``, comma-combinable; ``1``/``all``
+mean ``trace,metrics``).  Spawn-method subprocesses inherit the
+environment and therefore self-arm, which is how pool and process
+workers join a traced run; their buffers travel back over the existing
+reply pipes via :func:`drain`/:func:`absorb`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .metrics import (  # noqa: F401  (re-exports: the public registry API)
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    diff_snapshots,
+    get_registry,
+    percentile,
+    render_prometheus,
+    reset_registry,
+)
+from .tracing import (  # noqa: F401
+    CAT_BUILD,
+    CAT_COMM,
+    CAT_COMPILE,
+    CAT_LAUNCH,
+    CAT_POOL,
+    CAT_RUN,
+    CAT_SCHED,
+    Tracer,
+)
+
+ENV_VAR = "LOL_OBS"
+
+_MODES = ("trace", "metrics", "profile")
+
+#: Fine-grained barrier buckets: sub-µs spins to multi-second stalls.
+BARRIER_BUCKETS = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+    1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0,
+)
+
+
+def _parse_mode(mode: str) -> frozenset:
+    tokens = {t.strip().lower() for t in mode.split(",") if t.strip()}
+    if tokens & {"1", "all", "on", "true"}:
+        tokens |= {"trace", "metrics"}
+    tokens &= set(_MODES)
+    return frozenset(tokens)
+
+
+class ObsRuntime:
+    """Armed-state bundle: the tracer plus pre-resolved metric handles.
+
+    Handles are resolved once at arm time so the armed hot path does no
+    registry lookups — just an attribute read and a method call.
+    """
+
+    __slots__ = (
+        "mode",
+        "trace_on",
+        "metrics_on",
+        "profile_on",
+        "tracer",
+        "registry",
+        "comm_ops",
+        "comm_bytes",
+        "barrier_wait",
+    )
+
+    def __init__(self, mode: str) -> None:
+        modes = _parse_mode(mode)
+        if not modes:
+            raise ValueError(f"no recognised obs mode in {mode!r}")
+        self.mode = ",".join(sorted(modes))
+        self.trace_on = "trace" in modes
+        self.metrics_on = "metrics" in modes
+        self.profile_on = "profile" in modes
+        self.tracer = Tracer()
+        self.registry = get_registry()
+        self.comm_ops = self.registry.counter(
+            "lol_comm_ops_total", "SHMEM data-plane operations by kind"
+        )
+        self.comm_bytes = self.registry.counter(
+            "lol_comm_bytes_total", "Bytes moved by SHMEM put/get, by kind"
+        )
+        self.barrier_wait = self.registry.histogram(
+            "lol_barrier_wait_seconds",
+            "Per-PE time spent waiting in barrier_all",
+            buckets=BARRIER_BUCKETS,
+        )
+
+
+#: The arming global.  ``None`` == disarmed == zero-cost path.
+ACTIVE: Optional[ObsRuntime] = None
+
+
+def arm(mode: str = "trace,metrics") -> ObsRuntime:
+    """Arm the plane (replacing any previous arming) and return the
+    runtime.  Also mirrors the mode into ``os.environ[LOL_OBS]`` so
+    spawn-method child processes self-arm."""
+    global ACTIVE
+    ACTIVE = ObsRuntime(mode)
+    os.environ[ENV_VAR] = ACTIVE.mode
+    return ACTIVE
+
+
+def ensure_armed(mode: str) -> Optional[ObsRuntime]:
+    """Arm only if currently disarmed (the per-job worker path: a warm
+    pool worker must not reset its tracer mid-run)."""
+    if ACTIVE is None and mode:
+        try:
+            return arm(mode)
+        except ValueError:
+            return None
+    return ACTIVE
+
+
+def disarm() -> None:
+    global ACTIVE
+    ACTIVE = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> Optional[ObsRuntime]:
+    return ACTIVE
+
+
+# -- cross-process payloads --------------------------------------------------
+
+
+def drain() -> Optional[dict]:
+    """Worker side: package buffered spans plus a metrics delta for the
+    reply pipe, resetting both so warm workers never double-report.
+    Returns ``None`` when disarmed (the wire fields stay ``None`` and
+    the parent skips the merge entirely)."""
+    rt = ACTIVE
+    if rt is None:
+        return None
+    payload: dict = {"pid": os.getpid(), "mode": rt.mode}
+    if rt.trace_on:
+        payload["trace"] = rt.tracer.drain()
+    if rt.metrics_on:
+        snap = rt.registry.snapshot(reset=True)
+        _tag_gauges(snap, os.getpid())
+        payload["metrics"] = snap
+    return payload
+
+
+def _tag_gauges(snapshot: dict, pid: int) -> None:
+    """Label gauge series with the originating pid so worker gauges
+    (e.g. compile-cache sizes) never overwrite the parent's on merge."""
+    for payload in snapshot.values():
+        if payload.get("type") != "gauge":
+            continue
+        series = payload.get("series", {})
+        retagged = {}
+        for raw_key, value in series.items():
+            key = [list(kv) for kv in json.loads(raw_key)]
+            if not any(k == "pid" for k, _ in key):
+                key.append(["pid", str(pid)])
+            retagged[json.dumps(sorted(map(tuple, key)))] = value
+        payload["series"] = retagged
+
+
+def absorb(payload: Optional[dict]) -> None:
+    """Parent side: fold a worker's drained payload in.  Metrics always
+    merge into the process-wide registry; spans merge only if this
+    process is tracing (otherwise there is no timeline to join)."""
+    if not payload:
+        return
+    metrics = payload.get("metrics")
+    if metrics:
+        get_registry().merge(metrics)
+    rt = ACTIVE
+    trace = payload.get("trace")
+    if rt is not None and rt.trace_on and trace:
+        rt.tracer.absorb(trace)
+
+
+# -- import-time arming (mirrors repro.faults.plan) ---------------------------
+
+_env_mode = os.environ.get(ENV_VAR, "").strip()
+if _env_mode and _parse_mode(_env_mode):
+    arm(_env_mode)
+del _env_mode

@@ -1,0 +1,240 @@
+"""Validator for the Prometheus text exposition format (0.0.4).
+
+Used by the test suite and the CI ``obs-smoke`` job to check that
+whatever ``lolserve stats --format prom`` / the ``metrics`` server op
+emit would actually be scrapeable.  Pure stdlib, no Prometheus client
+dependency (the container has none, by design).
+
+``validate_exposition(text)`` returns a list of human-readable error
+strings — empty means valid.  ``python -m repro.obs.promcheck [FILE]``
+validates a file (or stdin) and exits non-zero on problems.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.*)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({_METRIC_NAME}) (\w+)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})(\{{.*\}})? ([^ ]+)( [0-9]+)?$"
+)
+_LABEL_RE = re.compile(rf'({_LABEL_NAME})="((?:[^"\\]|\\.)*)"')
+
+_VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(raw: str) -> Optional[Dict[str, str]]:
+    """Parse ``{a="x",b="y"}`` -> dict; None on malformed label syntax."""
+    inner = raw[1:-1].strip()
+    if not inner:
+        return {}
+    labels: Dict[str, str] = {}
+    rest = inner
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if not match:
+            return None
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            return None  # duplicate label name
+        labels[name] = value
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return labels
+
+
+def _family_of(name: str, types: Dict[str, str]) -> str:
+    """Map a sample name back to its declared family (histogram series
+    carry ``_bucket``/``_sum``/``_count`` suffixes)."""
+    if name in types:
+        return name
+    for suffix in _HIST_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Return a list of format violations in ``text`` (empty == valid)."""
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    seen_sample: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    # histogram state: family -> labelset(minus le) -> list of (le, cum)
+    hist_buckets: Dict[str, Dict[tuple, List[Tuple[float, float]]]] = {}
+    hist_sums: Dict[str, Dict[tuple, float]] = {}
+    hist_counts: Dict[str, Dict[tuple, float]] = {}
+
+    if text and not text.endswith("\n"):
+        errors.append("exposition must end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_m = _HELP_RE.match(line)
+            type_m = _TYPE_RE.match(line)
+            if help_m:
+                name = help_m.group(1)
+                if helped.get(name):
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+                helped[name] = True
+                continue
+            if type_m:
+                name, mtype = type_m.groups()
+                if mtype not in _VALID_TYPES:
+                    errors.append(
+                        f"line {lineno}: invalid TYPE {mtype!r} for {name}"
+                    )
+                if name in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                types[name] = mtype
+                continue
+            if line.startswith(("# HELP", "# TYPE")):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue  # other comments are legal and ignored
+
+        sample = _SAMPLE_RE.match(line)
+        if not sample:
+            errors.append(f"line {lineno}: unparsable sample line: {line!r}")
+            continue
+        name, raw_labels, raw_value, _ts = sample.groups()
+        labels = _parse_labels(raw_labels) if raw_labels else {}
+        if labels is None:
+            errors.append(f"line {lineno}: malformed labels: {raw_labels!r}")
+            continue
+        value = _parse_value(raw_value)
+        if value is None:
+            errors.append(f"line {lineno}: unparsable value {raw_value!r}")
+            continue
+
+        family = _family_of(name, types)
+        ftype = types.get(family)
+        if ftype is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE"
+            )
+        if ftype == "counter":
+            if not name.endswith("_total"):
+                errors.append(
+                    f"line {lineno}: counter {name!r} should end in _total"
+                )
+            if value < 0:
+                errors.append(f"line {lineno}: counter {name!r} is negative")
+        if ftype == "histogram" and not name.endswith(_HIST_SUFFIXES):
+            errors.append(
+                f"line {lineno}: histogram family {family!r} has plain "
+                f"sample {name!r}"
+            )
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_sample:
+            errors.append(
+                f"line {lineno}: duplicate series {name}{labels} "
+                f"(first at line {seen_sample[key]})"
+            )
+        seen_sample[key] = lineno
+
+        if ftype == "histogram":
+            base = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label"
+                    )
+                else:
+                    le = _parse_value(labels["le"])
+                    if le is None:
+                        errors.append(
+                            f"line {lineno}: unparsable le={labels['le']!r}"
+                        )
+                    else:
+                        hist_buckets.setdefault(family, {}).setdefault(
+                            base, []
+                        ).append((le, value))
+            elif name.endswith("_sum"):
+                hist_sums.setdefault(family, {})[base] = value
+            elif name.endswith("_count"):
+                hist_counts.setdefault(family, {})[base] = value
+
+    # Post-pass: histogram invariants.
+    for family, per_labels in hist_buckets.items():
+        for base, buckets in per_labels.items():
+            ordered = sorted(buckets, key=lambda b: b[0])
+            if not ordered or ordered[-1][0] != float("inf"):
+                errors.append(
+                    f"histogram {family}{dict(base)}: missing le=\"+Inf\" bucket"
+                )
+            last = -1.0
+            for le, cum in ordered:
+                if cum < last:
+                    errors.append(
+                        f"histogram {family}{dict(base)}: bucket counts "
+                        f"decrease at le={le}"
+                    )
+                    break
+                last = cum
+            count = hist_counts.get(family, {}).get(base)
+            if count is None:
+                errors.append(f"histogram {family}{dict(base)}: missing _count")
+            elif ordered and ordered[-1][0] == float("inf") and \
+                    ordered[-1][1] != count:
+                errors.append(
+                    f"histogram {family}{dict(base)}: _count {count} != "
+                    f"+Inf bucket {ordered[-1][1]}"
+                )
+            if base not in hist_sums.get(family, {}):
+                errors.append(f"histogram {family}{dict(base)}: missing _sum")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] not in ("-", "--"):
+        with open(argv[0], "r", encoding="utf-8") as fh:
+            text = fh.read()
+        source = argv[0]
+    else:
+        text = sys.stdin.read()
+        source = "<stdin>"
+    errors = validate_exposition(text)
+    if errors:
+        for err in errors:
+            print(f"{source}: {err}", file=sys.stderr)
+        print(f"{source}: INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line.strip() and not line.startswith("#")
+    )
+    print(f"{source}: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

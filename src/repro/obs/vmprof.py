@@ -1,0 +1,160 @@
+"""Opt-in per-opcode VM profiler (counts + self-time), zero-touch.
+
+:class:`ProfilingMachine` subclasses the bytecode :class:`Machine` and
+overrides only ``_exec``: the real :class:`CodeObject` is wrapped in a
+view whose ``.code`` intercepts each ``code[pc]`` fetch.  The dispatch
+loop in :mod:`repro.vm.machine` is **not modified** — that file stays
+byte-identical whether profiling exists or not, which is the structural
+half of the "zero cost when disabled" guarantee
+(``tools/check_obs_overhead.py`` asserts it).
+
+Self-time attribution: the interval between one fetch and the next is
+charged to the first opcode.  A ``CALL`` therefore absorbs call-setup
+time until the callee's first fetch (nested ``m._exec`` calls dispatch
+through the same override, so functions and SYMDECL mini-expressions
+are profiled too), and a callee's final ``RET``/``HALT`` absorbs the
+return path — the natural reading of "self time" for a threaded
+interpreter.
+
+Surfaced by the ``lolprof`` CLI (:mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..vm import isa
+from ..vm.machine import Machine
+
+
+class OpcodeProfile:
+    """Flat per-opcode accumulators, shared across every code object
+    executed by one machine (totals are program-wide)."""
+
+    __slots__ = ("counts", "self_s", "last_op", "last_t")
+
+    def __init__(self) -> None:
+        self.counts = [0] * isa.N_OPCODES
+        self.self_s = [0.0] * isa.N_OPCODES
+        self.last_op = -1
+        self.last_t = 0.0
+
+    def close(self) -> None:
+        """Charge the trailing interval (the op that ended execution)."""
+        if self.last_op >= 0:
+            self.self_s[self.last_op] += time.perf_counter() - self.last_t
+            self.last_op = -1
+
+    def rows(self) -> List[dict]:
+        """Non-zero opcodes, hottest (by self-time) first."""
+        total_s = sum(self.self_s) or 1e-12
+        rows = []
+        for op, count in enumerate(self.counts):
+            if not count:
+                continue
+            self_s = self.self_s[op]
+            rows.append(
+                {
+                    "op": isa.OPNAMES[op],
+                    "count": count,
+                    "self_s": round(self_s, 6),
+                    "pct": round(100.0 * self_s / total_s, 2),
+                    "avg_ns": round(1e9 * self_s / count, 1),
+                }
+            )
+        rows.sort(key=lambda r: (-r["self_s"], r["op"]))
+        return rows
+
+    def summary(self) -> dict:
+        return {
+            "ops_executed": sum(self.counts),
+            "self_s": round(sum(self.self_s), 6),
+            "distinct_opcodes": sum(1 for c in self.counts if c),
+        }
+
+
+class _ProfCode:
+    """Stand-in for ``CodeObject.code`` that meters every fetch."""
+
+    __slots__ = ("_code", "_prof")
+
+    def __init__(self, code: tuple, prof: OpcodeProfile) -> None:
+        self._code = code
+        self._prof = prof
+
+    def __getitem__(self, pc: int):
+        prof = self._prof
+        now = time.perf_counter()
+        last = prof.last_op
+        if last >= 0:
+            prof.self_s[last] += now - prof.last_t
+        ins = self._code[pc]
+        prof.counts[ins[0]] += 1
+        prof.last_op = ins[0]
+        prof.last_t = now
+        return ins
+
+    def __len__(self) -> int:
+        return len(self._code)
+
+
+class _ProfView:
+    """CodeObject facade: same attribute surface, metered ``.code``."""
+
+    __slots__ = ("name", "code", "positions", "n_slots", "n_caches")
+
+    def __init__(self, co, prof: OpcodeProfile) -> None:
+        self.name = co.name
+        self.code = _ProfCode(co.code, prof)
+        self.positions = co.positions
+        self.n_slots = co.n_slots
+        self.n_caches = co.n_caches
+
+
+class ProfilingMachine(Machine):
+    """Drop-in Machine that meters dispatch via code-object views."""
+
+    __slots__ = ("profile", "_views")
+
+    def __init__(self, ctx, max_steps: Optional[int] = None) -> None:
+        super().__init__(ctx, max_steps=max_steps)
+        self.profile = OpcodeProfile()
+        self._views: Dict[object, _ProfView] = {}
+
+    def _exec(self, co, frame, *args, **kwargs):
+        view = self._views.get(co)
+        if view is None:
+            view = _ProfView(co, self.profile)
+            self._views[co] = view
+        return Machine._exec(self, view, frame)
+
+    def run(self, program) -> None:
+        try:
+            super().run(program)
+        finally:
+            self.profile.close()
+
+
+def format_report(profile: OpcodeProfile, top: Optional[int] = None) -> str:
+    """Human-readable opcode table (``lolprof`` text output)."""
+    rows = profile.rows()
+    if top is not None:
+        rows = rows[:top]
+    summary = profile.summary()
+    lines = [
+        f"{'OPCODE':<14} {'COUNT':>10} {'SELF ms':>10} {'%':>6} {'AVG ns':>9}",
+        "-" * 53,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['op']:<14} {row['count']:>10} "
+            f"{row['self_s'] * 1e3:>10.3f} {row['pct']:>6.2f} "
+            f"{row['avg_ns']:>9.1f}"
+        )
+    lines.append("-" * 53)
+    lines.append(
+        f"{'total':<14} {summary['ops_executed']:>10} "
+        f"{summary['self_s'] * 1e3:>10.3f} {100.0:>6.2f}"
+    )
+    return "\n".join(lines)

@@ -114,9 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats_p = sub.add_parser(
         "stats", help="print server counters (queue, pool, retries, "
-        "shed, degraded, native cache, faults)",
+        "shed, degraded, per-engine latency, native cache, faults)",
     )
     stats_p.add_argument("--socket", default=DEFAULT_SOCKET)
+    stats_p.add_argument(
+        "--format", choices=("json", "prom", "text"), default="json",
+        help="json (raw stats), prom (Prometheus text exposition from "
+        "the server's metric registry), or text (one-screen summary)",
+    )
+    stats_p.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-poll and re-print every SECONDS until interrupted",
+    )
 
     bench_p = sub.add_parser(
         "bench", help="throughput benchmark -> BENCH_service.json"
@@ -151,6 +160,69 @@ def _forward(args: argparse.Namespace, names: Sequence[str]) -> list[str]:
         else:
             argv.extend([flag, str(value)])
     return argv
+
+
+def _render_stats_text(stats: dict) -> str:
+    """One-screen operator summary of the ``stats`` payload."""
+    lines = [
+        "queue    depth={queued} running={running} "
+        "peak={peak_running} capacity={max_queue_depth}".format(**stats),
+        "jobs     total={jobs} retries={retries} shed={shed} "
+        "degraded={degraded}".format(**stats),
+    ]
+    states = stats.get("states") or {}
+    if states:
+        lines.append(
+            "states   "
+            + " ".join(f"{k}={v}" for k, v in sorted(states.items()))
+        )
+    for engine, row in sorted((stats.get("latency") or {}).items()):
+        lines.append(
+            f"latency  {engine}: n={row['count']} "
+            f"p50={row['p50_s'] * 1e3:.1f}ms p99={row['p99_s'] * 1e3:.1f}ms"
+        )
+    pool = stats.get("pool")
+    if pool:
+        lines.append(
+            "pool     size={size} alive={workers_alive} "
+            "jobs={jobs_run} replaced={workers_replaced} "
+            "rebuilds={rebuilds}".format(
+                **dict({"workers_alive": "?"}, **pool)
+            )
+        )
+    else:
+        lines.append("pool     (not started)")
+    native = stats.get("native")
+    if native:
+        lines.append(
+            "native   builds={builds} cache_hits={cache_hits} "
+            "corrupt_rebuilds={corrupt_rebuilds} "
+            "transient_retries={transient_retries}".format(**native)
+        )
+    return "\n".join(lines)
+
+
+def _stats_command(client, args: argparse.Namespace) -> int:
+    import time as _time
+
+    def _render() -> str:
+        if args.format == "prom":
+            return client.metrics().rstrip("\n")
+        stats = client.stats()
+        if args.format == "text":
+            return _render_stats_text(stats)
+        return json.dumps(stats, indent=2)
+
+    if args.watch is None:
+        print(_render())
+        return 0
+    try:
+        while True:
+            print(f"--- {_time.strftime('%H:%M:%S')} ---")
+            print(_render(), flush=True)
+            _time.sleep(max(args.watch, 0.05))
+    except KeyboardInterrupt:
+        return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -234,8 +306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("cancelled" if cancelled else "not cancellable (running or done)")
             return 0
         if args.command == "stats":
-            print(json.dumps(client.stats(), indent=2))
-            return 0
+            return _stats_command(client, args)
     except ServiceError as exc:
         print(f"lolserve: {exc}", file=sys.stderr)
         return 1

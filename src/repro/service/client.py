@@ -42,7 +42,7 @@ _SOCKET_SLACK = 10.0
 #: the server processes a request before replying, so a reply lost in
 #: flight could mean the job was already enqueued.
 RETRY_SAFE_OPS = frozenset(
-    {"ping", "status", "wait", "cancel", "stats", "workloads"}
+    {"ping", "status", "wait", "cancel", "stats", "metrics", "workloads"}
 )
 
 #: Default client-side retry: 3 connect attempts with ~0.1-0.4s backoff
@@ -265,6 +265,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request("stats")["stats"]
+
+    def metrics(self) -> str:
+        """Server-side metric registry in Prometheus text exposition
+        format (see :func:`repro.obs.render_prometheus`)."""
+        return self.request("metrics")["metrics"]
 
     def shutdown(self) -> None:
         self.request("shutdown")

@@ -47,6 +47,7 @@ import os
 import threading
 import time
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from multiprocessing import shared_memory
@@ -54,6 +55,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from .. import obs as _obs
 from ..faults import InjectedFaultError, inject
 from ..lang.errors import LolParallelError
 from ..shmem.api import DEFAULT_BARRIER_TIMEOUT, ShmemContext
@@ -67,6 +69,25 @@ from ..shmem.runtime_procs import (
 )
 from ..shmem.runtime_threads import SpmdResult
 from ..shmem.trace import OpTrace, merge_traces
+
+# Registry-mirrored pool counters: the per-instance attributes below
+# (jobs_run, workers_replaced, ...) stay canonical for callers holding a
+# pool object; these mirror the same increments into the process-wide
+# registry so `lolserve stats` / the `metrics` op read identical numbers.
+_REG = _obs.get_registry()
+_M_JOBS = _REG.counter("lol_pool_jobs_total", "SPMD jobs run on the warm pool")
+_M_REPLACED = _REG.counter(
+    "lol_pool_workers_replaced_total", "Pool workers respawned after death"
+)
+_M_REBUILDS = _REG.counter(
+    "lol_pool_rebuilds_total", "Full pool rebuilds (primitive bank reset)"
+)
+_M_SEG_CREATED = _REG.counter(
+    "lol_pool_segments_created_total", "Shared-memory segments allocated"
+)
+_M_SEG_REUSED = _REG.counter(
+    "lol_pool_segments_reused_total", "Shared-memory segments recycled"
+)
 
 #: Symbol-lock bank size.  ``IM SHARIN IT`` symbols map onto these in
 #: plan order; programs needing more are rejected with a clear error.
@@ -122,8 +143,10 @@ class SegmentPool:
         bucket = self._free.get(cls)
         if bucket:
             self.reused += 1
+            _M_SEG_REUSED.inc()
             return bucket.pop()
         self.created += 1
+        _M_SEG_CREATED.inc()
         shm = shared_memory.SharedMemory(create=True, size=cls)
         self._all[shm.name] = shm
         return shm
@@ -153,6 +176,10 @@ class _PoolJob:
     seed: Optional[int]
     stdin_lines: Optional[Sequence[str]]
     trace: bool
+    #: Observability mode ("trace,metrics", …) or "" when disarmed.
+    #: Carried per job because warm workers outlive any later arming in
+    #: the parent — the spawn-time LOL_OBS environment is not enough.
+    obs: str = ""
 
 
 def _pool_worker_main(index, conn, barriers, locks, epoch_value, atomic_lock):
@@ -171,6 +198,8 @@ def _pool_worker_main(index, conn, barriers, locks, epoch_value, atomic_lock):
         if msg[0] == "stop":
             return
         job: _PoolJob = msg[1]
+        if job.obs:
+            _obs.ensure_armed(job.obs)
         barrier = barriers[job.spec.n_pes]
         shm = None
         world = None
@@ -189,7 +218,12 @@ def _pool_worker_main(index, conn, barriers, locks, epoch_value, atomic_lock):
                 trace=job.trace,
             )
             ret = job.pe_main(ctx)
-            reply = ("ok", job.job_id, job.pe, ctx.output, ret, ctx.trace)
+            # Final wire field: this worker's drained observability
+            # payload (spans + metrics delta), or None when disarmed.
+            reply = (
+                "ok", job.job_id, job.pe, ctx.output, ret, ctx.trace,
+                _obs.drain(),
+            )
             # Worker-side injection site: this process was spawned with
             # the parent's environment, so an exported LOL_FAULTS plan
             # armed it at import time.  Failing *here* — after the work,
@@ -233,6 +267,7 @@ def _pool_worker_main(index, conn, barriers, locks, epoch_value, atomic_lock):
                         traceback.format_exc(),
                         repr(exc),
                         None,
+                        _obs.drain(),
                     )
                 )
             except OSError:
@@ -337,6 +372,7 @@ class WorkerPool:
         """
         self._terminate(self._workers[index])
         self.workers_replaced += 1
+        _M_REPLACED.inc()
         self._workers[index] = self._spawn(index)
         return self._workers[index]
 
@@ -353,6 +389,7 @@ class WorkerPool:
             self._terminate(worker)
         self._make_primitives()
         self.rebuilds += 1
+        _M_REBUILDS.inc()
         self._workers = [self._spawn(i) for i in range(self.size)]
 
     def _ensure_alive(self, index: int) -> _Worker:
@@ -369,6 +406,11 @@ class WorkerPool:
         """Current worker process ids (stable across jobs unless a
         worker crashed and was replaced — the warmness observable)."""
         return [w.process.pid for w in self._workers]
+
+    def workers_alive(self) -> int:
+        """How many worker processes are currently alive (the liveness
+        gauge: equals ``size`` when healthy)."""
+        return sum(1 for w in self._workers if w.process.is_alive())
 
     # -- job execution ------------------------------------------------------
 
@@ -455,57 +497,74 @@ class WorkerPool:
             )
             self._job_counter += 1
             job_id = self._job_counter
+            rt = _obs.ACTIVE
+            obs_mode = rt.mode if rt is not None else ""
+            _job_span = (
+                rt.tracer.span(
+                    "pool", f"job{job_id}", args={"n_pes": n_pes}
+                )
+                if rt is not None and rt.trace_on
+                else nullcontext()
+            )
             dispatched = 0
-            try:
-                for pe in range(n_pes):
-                    worker = self._ensure_alive(pe)
-                    rule = inject("pool.job_send", rank=pe, job=job_id)
-                    if rule is not None:
-                        if rule.kind == "drop":
-                            # Simulated dispatch failure: the except
-                            # clause below rebuilds (partially
-                            # dispatched siblings are running) and the
-                            # typed error names the injected site.
-                            raise InjectedFaultError(rule)
-                        if rule.kind == "kill":
-                            # Kill the target *before* the send so the
-                            # BrokenPipe replace-and-resend path below
-                            # runs deterministically.
-                            worker.process.terminate()
-                            worker.process.join(timeout=5.0)
-                    job = _PoolJob(
-                        job_id,
-                        pe,
-                        spec,
-                        pe_main,
-                        seed,
-                        stdin_lines[pe] if stdin_lines else None,
-                        trace,
-                    )
-                    try:
-                        worker.conn.send(("job", job))
-                    except (BrokenPipeError, OSError):
-                        # Died between the liveness check and the send.
-                        worker = self._replace(pe)
-                        worker.conn.send(("job", job))
-                    dispatched += 1
-            except Exception:
-                # Dispatch died partway: workers 0..dispatched-1 are
-                # already running this job and hold views into the
-                # segment.  Rebuild the pool (terminating releases their
-                # mappings, and they may be mid-critical-section) before
-                # the finally clause recycles the segment.
-                self._rebuild()
-                raise
-            result = self._collect(job_id, n_pes, plan, trace, barrier_timeout)
-            self.jobs_run += 1
-            return result
+            with _job_span:
+              try:
+                  for pe in range(n_pes):
+                      worker = self._ensure_alive(pe)
+                      rule = inject("pool.job_send", rank=pe, job=job_id)
+                      if rule is not None:
+                          if rule.kind == "drop":
+                              # Simulated dispatch failure: the except
+                              # clause below rebuilds (partially
+                              # dispatched siblings are running) and the
+                              # typed error names the injected site.
+                              raise InjectedFaultError(rule)
+                          if rule.kind == "kill":
+                              # Kill the target *before* the send so the
+                              # BrokenPipe replace-and-resend path below
+                              # runs deterministically.
+                              worker.process.terminate()
+                              worker.process.join(timeout=5.0)
+                      job = _PoolJob(
+                          job_id,
+                          pe,
+                          spec,
+                          pe_main,
+                          seed,
+                          stdin_lines[pe] if stdin_lines else None,
+                          trace,
+                          obs_mode,
+                      )
+                      try:
+                          worker.conn.send(("job", job))
+                      except (BrokenPipeError, OSError):
+                          # Died between the liveness check and the send.
+                          worker = self._replace(pe)
+                          worker.conn.send(("job", job))
+                      if rt is not None and rt.trace_on:
+                          rt.tracer.instant(
+                              "pool", f"send-pe{pe}", args={"job": job_id}
+                          )
+                      dispatched += 1
+              except Exception:
+                  # Dispatch died partway: workers 0..dispatched-1 are
+                  # already running this job and hold views into the
+                  # segment.  Rebuild the pool (terminating releases their
+                  # mappings, and they may be mid-critical-section) before
+                  # the finally clause recycles the segment.
+                  self._rebuild()
+                  raise
+              result = self._collect(job_id, n_pes, plan, trace, barrier_timeout)
+              self.jobs_run += 1
+              _M_JOBS.inc()
+              return result
         finally:
             self.segments.release(shm)
 
     def _collect(
         self, job_id: int, n_pes: int, plan, trace: bool, barrier_timeout: float
     ) -> SpmdResult:
+        rt = _obs.ACTIVE
         results: dict[int, tuple] = {}
         errors: list[tuple] = []
         error_pes: set[int] = set()
@@ -526,7 +585,7 @@ class WorkerPool:
             # barrier-broken); the slot is respawned by the post-drain
             # rebuild.
             dead_pes.add(pe)
-            errors.append(("error", job_id, pe, detail, brief, None))
+            errors.append(("error", job_id, pe, detail, brief, None, None))
             try:
                 self._barriers[n_pes].abort()
             except Exception:
@@ -571,7 +630,7 @@ class WorkerPool:
                         continue
                     if (
                         not isinstance(msg, tuple)
-                        or len(msg) != 6
+                        or len(msg) != 7
                         or msg[0] not in ("ok", "error")
                     ):
                         # Garbage on the pipe: the worker is alive but
@@ -593,6 +652,10 @@ class WorkerPool:
                         errors.append(msg)
                     else:
                         results[pe] = msg
+                        if rt is not None and rt.trace_on:
+                            rt.tracer.instant(
+                                "pool", f"reply-pe{pe}", args={"job": job_id}
+                            )
                 elif not worker.process.is_alive():
                     progressed = True
                     mark_crashed(pe)
@@ -611,6 +674,7 @@ class WorkerPool:
             # it wholesale — only idle deaths get the cheap single-slot
             # respawn (see _ensure_alive).
             self.workers_replaced += len(dead_pes) + len(stragglers)
+            _M_REPLACED.inc(len(dead_pes) + len(stragglers))
             self._rebuild()
         elif errors:
             # Soft failures only (workers alive, locks self-released):
@@ -621,8 +685,10 @@ class WorkerPool:
                 pass
         if errors:
             # Prefer a root-cause error over secondary barrier-broken ones.
+            for failed in errors:
+                _obs.absorb(failed[6])
             errors.sort(key=lambda e: ("barrier broken" in str(e[4]), e[2]))
-            _, _, pe, tb, brief, _ = errors[0]
+            _, _, pe, tb, brief, _, _ = errors[0]
             # Worker death/corruption is the pool's retryable failure
             # class (the rebuild already produced fresh workers); a
             # LOLCODE-level error stays a plain LolParallelError — a
@@ -640,6 +706,8 @@ class WorkerPool:
         outputs = [results[pe][3] for pe in range(n_pes)]
         returns = [results[pe][4] for pe in range(n_pes)]
         traces: list[Optional[OpTrace]] = [results[pe][5] for pe in range(n_pes)]
+        for pe in range(n_pes):
+            _obs.absorb(results[pe][6])
         merged = merge_traces(traces) if trace else None
         return SpmdResult(
             n_pes=n_pes,
@@ -687,6 +755,29 @@ class WorkerPool:
 
 _default_pool: Optional[WorkerPool] = None
 _default_pool_mutex = threading.Lock()
+
+
+def _pool_liveness_collector() -> None:
+    """Registry collector: worker-liveness gauges for the default pool
+    (ROADMAP item 3's load-shedding input).  Runs on snapshot/render."""
+    pool = _default_pool
+    if pool is None:
+        # No pool was ever created in this process (e.g. inside a pool
+        # worker): stay silent rather than emit misleading zeros.
+        return
+    size_g = _REG.gauge("lol_pool_size", "Configured worker count")
+    alive_g = _REG.gauge(
+        "lol_pool_workers_alive", "Worker processes currently alive"
+    )
+    if not pool.alive:
+        size_g.set(0)
+        alive_g.set(0)
+        return
+    size_g.set(pool.size)
+    alive_g.set(pool.workers_alive())
+
+
+_REG.register_collector(_pool_liveness_collector)
 
 
 def get_default_pool(min_size: int = 1) -> WorkerPool:

@@ -27,8 +27,36 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from .. import obs as _obs
 from ..faults import RetryPolicy, inject, is_retryable
 from ..lang.errors import LolError
+
+# Registry-mirrored scheduler metrics.  Instance attributes stay
+# canonical for `stats()` (a process may host several schedulers in
+# tests); these feed the same increments into the process-wide registry
+# so the Prometheus `metrics` op reads identical numbers.
+_REG = _obs.get_registry()
+_M_SUBMITTED = _REG.counter(
+    "lol_sched_jobs_submitted_total", "Jobs admitted to the queue"
+)
+_M_FINISHED = _REG.counter(
+    "lol_sched_jobs_finished_total", "Jobs reaching a terminal state"
+)
+_M_SHED = _REG.counter(
+    "lol_sched_shed_total", "Submissions rejected with QueueFullError"
+)
+_M_RETRIES = _REG.counter(
+    "lol_sched_retries_total", "Retry attempts actually performed"
+)
+_M_DEGRADED = _REG.counter(
+    "lol_sched_degraded_total", "Jobs completed on a fallback engine"
+)
+_M_JOB_LATENCY = _REG.histogram(
+    "lol_job_latency_seconds", "Job wall time from dispatch to terminal"
+)
+
+#: Per-engine latency samples retained per scheduler for p50/p99 rows.
+_LATENCY_WINDOW = 512
 
 #: Fallback per-job timeout (seconds) when a submission does not set one.
 DEFAULT_JOB_TIMEOUT = 120.0
@@ -331,6 +359,10 @@ class Scheduler:
         self.degraded_total = 0  # jobs completed on a fallback engine
         #: EMA of job wall time, feeding QueueFullError's retry-after
         self._ema_job_s = 0.1
+        #: recent job wall times per engine (bounded), feeding the
+        #: per-engine p50/p99 block in ``stats()`` — the load-shedding
+        #: inputs ROADMAP item 3 names
+        self._latency: Dict[str, deque] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -367,6 +399,7 @@ class Scheduler:
         forced = rule is not None and rule.kind == "queue_full"
         if forced or depth >= self.max_queue_depth:
             self.shed_total += 1
+            _M_SHED.inc()
             retry_after = round(
                 max(0.05, (depth + 1) * self._ema_job_s / self.max_concurrency),
                 3,
@@ -380,6 +413,14 @@ class Scheduler:
         job = Job(job_id=f"job-{next(self._ids)}", spec=spec)
         self._jobs[job.job_id] = job
         self._queue.put_nowait(job)
+        _M_SUBMITTED.inc(engine=job.spec.engine)
+        rt = _obs.ACTIVE
+        if rt is not None and rt.trace_on:
+            rt.tracer.instant(
+                "sched",
+                f"queued:{job.job_id}",
+                args={"engine": job.spec.engine, "depth": depth + 1},
+            )
         return job
 
     def get(self, job_id: str) -> Job:
@@ -435,7 +476,26 @@ class Scheduler:
             "shed": self.shed_total,
             "degraded": self.degraded_total,
             "retry_policy": self.retry_policy.describe(),
+            "latency": self.latency_summary(),
         }
+
+    def latency_summary(self) -> dict:
+        """Per-engine job wall-time p50/p99 over the recent window —
+        with queue depth and worker liveness, the third load-shedding
+        input ROADMAP item 3 names."""
+        out = {}
+        for engine in sorted(self._latency):
+            window = self._latency[engine]
+            if not window:
+                continue
+            samples = list(window)
+            out[engine] = {
+                "count": len(samples),
+                "p50_s": round(_obs.percentile(samples, 50), 6),
+                "p99_s": round(_obs.percentile(samples, 99), 6),
+                "mean_s": round(sum(samples) / len(samples), 6),
+            }
+        return out
 
     # -- execution ----------------------------------------------------------
 
@@ -452,6 +512,8 @@ class Scheduler:
         job.state = JobState.RUNNING
         self._running += 1
         self.peak_running = max(self.peak_running, self._running)
+        rt = _obs.ACTIVE
+        t0 = time.perf_counter() if rt is not None else 0.0
         try:
             if job.spec.executor == "pool":
                 async with self._pool_gate:
@@ -461,8 +523,37 @@ class Scheduler:
         finally:
             self._running -= 1
             job.finished_at = time.time()
+            if job.started_at is not None:
+                self._record_latency(
+                    job.spec.engine, job.finished_at - job.started_at
+                )
+            _M_FINISHED.inc(engine=job.spec.engine, state=job.state.value)
+            if rt is not None and rt.trace_on:
+                rt.tracer.complete(
+                    "sched",
+                    f"job:{job.job_id}",
+                    t0,
+                    time.perf_counter() - t0,
+                    args={
+                        "engine": job.spec.engine,
+                        "executor": job.spec.executor,
+                        "state": job.state.value,
+                        "queued_s": round(
+                            (job.started_at or job.finished_at)
+                            - job.submitted_at,
+                            6,
+                        ),
+                    },
+                )
             job.done.set()
             self._retire(job)
+
+    def _record_latency(self, engine: str, seconds: float) -> None:
+        window = self._latency.get(engine)
+        if window is None:
+            window = self._latency[engine] = deque(maxlen=_LATENCY_WINDOW)
+        window.append(seconds)
+        _M_JOB_LATENCY.observe(seconds, engine=engine)
 
     async def _execute(self, job: Job) -> None:
         job.started_at = time.time()
@@ -477,6 +568,7 @@ class Scheduler:
             job.state = JobState.DONE
             if job.result.get("degraded"):
                 self.degraded_total += 1
+                _M_DEGRADED.inc()
         except asyncio.TimeoutError:
             # The worker thread cannot be killed; the run itself is
             # bounded by its barrier timeout.  The *job* is failed now
@@ -528,6 +620,7 @@ class Scheduler:
                 delay = policy.delay(attempt, seed=job.spec.seed or 0)
                 record["backoff_s"] = round(delay, 4)
                 self.retries_total += 1
+                _M_RETRIES.inc()
                 await asyncio.sleep(delay)
                 continue
             row["attempt_count"] = attempt

@@ -18,6 +18,8 @@ op              request fields                            response fields
 ``cancel``      ``job_id``                                ``cancelled``
 ``workloads``   —                                         ``workloads``
 ``stats``       —                                         ``stats``
+``metrics``     —                                         ``metrics`` (Prom
+                                                          text exposition)
 ``shutdown``    —                                         ``stopping``
 =============== ========================================= =================
 
@@ -39,6 +41,7 @@ import tempfile
 import threading
 from typing import Optional
 
+from .. import obs as _obs
 from ..faults import fault_stats, inject
 from .scheduler import (
     DEFAULT_JOB_TIMEOUT,
@@ -219,6 +222,12 @@ class ServiceServer:
             stats["native"] = native_stats()
             stats["faults"] = fault_stats()
             return {"ok": True, "stats": stats}
+        if op == "metrics":
+            self._update_gauges()
+            return {
+                "ok": True,
+                "metrics": _obs.render_prometheus(_obs.get_registry()),
+            }
         if op == "shutdown":
             self._shutdown.set()
             return {"ok": True, "stopping": True}
@@ -241,12 +250,28 @@ class ServiceServer:
             return None
         return {
             "size": pool.size,
+            "workers_alive": pool.workers_alive(),
             "jobs_run": pool.jobs_run,
             "workers_replaced": pool.workers_replaced,
             "rebuilds": pool.rebuilds,
             "segments_created": pool.segments.created,
             "segments_reused": pool.segments.reused,
         }
+
+    def _update_gauges(self) -> None:
+        """Refresh point-in-time gauges right before rendering, so the
+        exposition reflects this instant rather than the last event."""
+        reg = _obs.get_registry()
+        sched = self.scheduler.stats()
+        reg.gauge("lol_sched_queue_depth", "Jobs waiting in the queue").set(
+            sched["queued"]
+        )
+        reg.gauge("lol_sched_running", "Jobs currently executing").set(
+            sched["running"]
+        )
+        reg.gauge(
+            "lol_sched_queue_capacity", "Configured max queue depth"
+        ).set(sched["max_queue_depth"])
 
 
 def serve(

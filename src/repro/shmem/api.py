@@ -38,6 +38,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from .. import obs as _obs
 from ..lang.errors import LolParallelError, LolRuntimeError
 from ..lang.types import LolType
 from .heap import ArrayCell, SymmetricHeap, SymmetricObject
@@ -206,6 +207,8 @@ class ShmemContext:
 
     def get(self, symbol: str, target_pe: int, index: Optional[int] = None):
         """One-sided read from ``target_pe``'s partition (``UR x`` rvalue)."""
+        rt = _obs.ACTIVE
+        t0 = time.perf_counter() if rt is not None else 0.0
         obj = self._resolve(symbol, target_pe)
         cell = obj.cell(target_pe)
         if index is not None:
@@ -220,6 +223,8 @@ class ShmemContext:
             nbytes = _ELEM_BYTES
         self._note(OpKind.GET, target_pe, nbytes, symbol)
         self._race(symbol, target_pe, "read", index)
+        if rt is not None:
+            self._obs_comm(rt, "get", target_pe, nbytes, symbol, t0)
         return value
 
     def put(
@@ -230,6 +235,8 @@ class ShmemContext:
         index: Optional[int] = None,
     ) -> None:
         """One-sided write into ``target_pe``'s partition (``UR x`` lvalue)."""
+        rt = _obs.ACTIVE
+        t0 = time.perf_counter() if rt is not None else 0.0
         obj = self._resolve(symbol, target_pe)
         cell = obj.cell(target_pe)
         if index is not None:
@@ -244,6 +251,8 @@ class ShmemContext:
             nbytes = _ELEM_BYTES
         self._note(OpKind.PUT, target_pe, nbytes, symbol)
         self._race(symbol, target_pe, "write", index)
+        if rt is not None:
+            self._obs_comm(rt, "put", target_pe, nbytes, symbol, t0)
 
     def local_cell(self, symbol: str):
         """Direct handle on this PE's own partition of ``symbol``."""
@@ -278,11 +287,44 @@ class ShmemContext:
             cell.write(value)
         self._race(symbol, self.my_pe, "write", index)
 
+    # -- observability (armed path only; _obs.ACTIVE is None when disarmed) ------
+
+    def _obs_comm(
+        self, rt, kind: str, target_pe: int, nbytes: int, symbol: str, t0: float
+    ) -> None:
+        """Record one data-plane op on the armed observability runtime."""
+        now = time.perf_counter()
+        if rt.metrics_on:
+            rt.comm_ops.inc(1, op=kind)
+            if nbytes:
+                rt.comm_bytes.inc(nbytes, op=kind)
+        if rt.trace_on:
+            rt.tracer.complete(
+                "comm",
+                kind,
+                t0,
+                now - t0,
+                tid=f"PE-{self.my_pe}",
+                args={"symbol": symbol, "to": target_pe, "nbytes": nbytes},
+            )
+
+    def _obs_barrier(self, rt, t0: float) -> None:
+        """Record one barrier wait (per-PE histogram + span)."""
+        wait_s = time.perf_counter() - t0
+        if rt.metrics_on:
+            rt.barrier_wait.observe(wait_s, pe=str(self.my_pe))
+        if rt.trace_on:
+            rt.tracer.complete(
+                "comm", "barrier", t0, wait_s, tid=f"PE-{self.my_pe}"
+            )
+
     # -- synchronisation ----------------------------------------------------------
 
     def barrier_all(self) -> None:
         """Collective barrier (``HUGZ``)."""
         self._note(OpKind.BARRIER, -1, 0, "")
+        rt = _obs.ACTIVE
+        t0 = time.perf_counter() if rt is not None else 0.0
         try:
             self.world.barrier.wait(timeout=self.world.barrier_timeout)
         except threading.BrokenBarrierError as exc:
@@ -290,6 +332,9 @@ class ShmemContext:
                 f"HUGZ barrier broken on PE {self.my_pe} (a PE crashed or "
                 f"the program reached the barrier a mismatched number of times)"
             ) from exc
+        finally:
+            if rt is not None:
+                self._obs_barrier(rt, t0)
 
     def set_lock(self, symbol: str) -> None:
         """Blocking global lock acquire (``IM SRSLY MESIN WIF``)."""

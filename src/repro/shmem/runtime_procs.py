@@ -32,6 +32,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from .. import obs as _obs
 from ..lang.errors import LolParallelError
 from ..lang.types import NUMPY_DTYPES, LolType
 from .api import DEFAULT_BARRIER_TIMEOUT, ShmemContext, World, _EpochBox
@@ -242,11 +243,16 @@ def _proc_worker(
             world, pe, seed=seed, stdin_lines=stdin_lines, trace=trace
         )
         ret = pe_main(ctx)
-        queue.put(("ok", pe, ctx.output, ret, ctx.trace))
+        # Final wire field: the worker's drained observability payload
+        # (spans + metrics delta), or None when the plane is disarmed —
+        # the worker self-armed at import if LOL_OBS rode the spawn env.
+        queue.put(("ok", pe, ctx.output, ret, ctx.trace, _obs.drain()))
     except BaseException as exc:  # noqa: BLE001 - marshalled to parent
         import traceback
 
-        queue.put(("error", pe, traceback.format_exc(), repr(exc), None))
+        queue.put(
+            ("error", pe, traceback.format_exc(), repr(exc), None, _obs.drain())
+        )
         try:
             barrier.abort()
         except Exception:
@@ -383,7 +389,9 @@ def run_spmd_procs(
                 p.terminate()
                 p.join(timeout=5.0)
         if error is not None:
-            _, pe, tb, brief, _ = error
+            for failed in errors:
+                _obs.absorb(failed[5])
+            _, pe, tb, brief, _, _ = error
             raise LolParallelError(
                 f"PE {pe} failed in process executor: {brief}\n{tb}"
             )
@@ -397,6 +405,8 @@ def run_spmd_procs(
         outputs = [results[pe][2] for pe in range(n_pes)]
         returns = [results[pe][3] for pe in range(n_pes)]
         traces: list[Optional[OpTrace]] = [results[pe][4] for pe in range(n_pes)]
+        for pe in range(n_pes):
+            _obs.absorb(results[pe][5])
         merged = merge_traces(traces) if trace else None
         return SpmdResult(
             n_pes=n_pes,

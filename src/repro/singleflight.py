@@ -20,7 +20,17 @@ from __future__ import annotations
 import threading
 from typing import Callable, Hashable, TypeVar
 
+from . import obs as _obs
+
 T = TypeVar("T")
+
+#: Callers that found another computation of their key already in
+#: flight — i.e. compiles the guard saved.  Registry-backed so the
+#: Prometheus ``metrics`` op sees it next to the compile-cache gauges.
+_M_CONTENDED = _obs.get_registry().counter(
+    "lol_singleflight_contended_total",
+    "Single-flight callers that piggybacked on an in-flight computation",
+)
 
 
 class SingleFlight:
@@ -43,6 +53,8 @@ class SingleFlight:
             if entry is None:
                 entry = [threading.Lock(), 0]
                 self._inflight[key] = entry
+            else:
+                _M_CONTENDED.inc()
             entry[1] += 1
         try:
             with entry[0]:

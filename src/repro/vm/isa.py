@@ -261,11 +261,40 @@ class VMProgram:
         self.count_steps = count_steps
 
     def run(self, ctx, max_steps: Optional[int] = None):
-        """Execute on one PE; returns the Machine (stats are inspectable)."""
+        """Execute on one PE; returns the Machine (stats are inspectable).
+
+        With metrics armed, the machine's per-run counters (symbol-cache
+        misses, vectorizer runs/bails, step count) are flushed into the
+        central registry after the run — one counter batch per PE run,
+        nothing on the dispatch hot path, and ``machine.py`` itself
+        stays instrumentation-free.
+        """
+        from .. import obs as _obs
         from .machine import Machine
 
         machine = Machine(ctx, max_steps=max_steps)
-        machine.run(self)
+        try:
+            machine.run(self)
+        finally:
+            rt = _obs.ACTIVE
+            if rt is not None and rt.metrics_on:
+                reg = rt.registry
+                reg.counter(
+                    "lol_vm_runs_total", "VM executions (one per PE run)"
+                ).inc()
+                vm_events = reg.counter(
+                    "lol_vm_events_total",
+                    "VM engine events: symbol-cache misses, vectorized "
+                    "loop runs, vectorizer bails, executed steps",
+                )
+                if machine.sym_misses:
+                    vm_events.inc(machine.sym_misses, event="sym_misses")
+                if machine.vec_runs:
+                    vm_events.inc(machine.vec_runs, event="vec_runs")
+                if machine.vec_bails:
+                    vm_events.inc(machine.vec_bails, event="vec_bails")
+                if machine.steps:
+                    vm_events.inc(machine.steps, event="steps")
         return machine
 
 

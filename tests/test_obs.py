@@ -1,0 +1,308 @@
+"""Unit tests for the observability plane (repro.obs).
+
+Covers the metrics registry (counters/gauges/histograms, snapshot /
+merge / diff, Prometheus rendering), the tracer (nesting, drain/absorb
+renumbering, Chrome export), the exposition validator, the per-opcode
+VM profiler, and the arming protocol itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import (
+    MetricsRegistry,
+    diff_snapshots,
+    percentile,
+    render_prometheus,
+)
+from repro.obs.promcheck import validate_exposition
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends disarmed with a clean global registry."""
+    obs.disarm()
+    obs.reset_registry()
+    yield
+    obs.disarm()
+    obs.reset_registry()
+
+
+class TestMetricsRegistry:
+    def test_counter_labels_and_total(self):
+        reg = MetricsRegistry()
+        c = reg.counter("lol_x_total", "x")
+        c.inc(op="put")
+        c.inc(3, op="get")
+        assert c.value(op="put") == 1
+        assert c.value(op="get") == 3
+        assert c.total() == 4
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("lol_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("lol_x_total")
+
+    def test_histogram_summary_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lol_t_seconds", "t", buckets=(0.1, 1.0))
+        for v in (0.05, 0.2, 0.3, 2.0):
+            h.observe(v, pe="0")
+        s = h.summary(pe="0")
+        assert s["count"] == 4
+        assert s["p50_s"] == round(percentile([0.05, 0.2, 0.3, 2.0], 50), 6)
+        assert h.merged_summary()["count"] == 4
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("lol_n_total").inc(2, k="x")
+            reg.histogram("lol_t_seconds", buckets=(1.0,)).observe(0.5)
+        a.merge(b.snapshot())
+        assert a.counter("lol_n_total").value(k="x") == 4
+        assert a.histogram("lol_t_seconds").merged_summary()["count"] == 2
+
+    def test_gauges_overwrite_on_merge(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("lol_depth").set(3)
+        b.gauge("lol_depth").set(7)
+        a.merge(b.snapshot())
+        assert a.gauge("lol_depth").value() == 7
+
+    def test_snapshot_reset_drains(self):
+        reg = MetricsRegistry()
+        reg.counter("lol_n_total").inc(5)
+        snap = reg.snapshot(reset=True)
+        assert snap["lol_n_total"]["series"]
+        assert reg.counter("lol_n_total").total() == 0
+
+    def test_diff_snapshots_counter_delta_and_sample_tail(self):
+        reg = MetricsRegistry()
+        c = reg.counter("lol_n_total")
+        h = reg.histogram("lol_t_seconds", buckets=(1.0,))
+        c.inc(2)
+        h.observe(0.1)
+        before = reg.snapshot()
+        c.inc(3)
+        h.observe(0.2)
+        delta = diff_snapshots(before, reg.snapshot())
+        (counter_val,) = delta["lol_n_total"]["series"].values()
+        assert counter_val == 3
+        (hist_state,) = delta["lol_t_seconds"]["series"].values()
+        assert hist_state["count"] == 1
+        assert hist_state["samples"] == [0.2]
+
+    def test_collectors_run_before_snapshot_and_swallow_errors(self):
+        reg = MetricsRegistry()
+
+        def good():
+            reg.gauge("lol_g").set(1)
+
+        def bad():
+            raise RuntimeError("observer must not crash the observed")
+
+        reg.register_collector(good)
+        reg.register_collector(bad)
+        snap = reg.snapshot()
+        assert snap["lol_g"]["series"]
+
+    def test_render_prometheus_is_valid(self):
+        reg = MetricsRegistry()
+        reg.counter("lol_ops_total", "ops").inc(4, op="put")
+        reg.gauge("lol_depth", "queue depth").set(2)
+        reg.histogram("lol_wait_seconds", "waits", buckets=(0.1, 1.0)).observe(
+            0.05, pe="1"
+        )
+        text = render_prometheus(reg)
+        assert validate_exposition(text) == []
+        assert 'lol_ops_total{op="put"} 4' in text
+        assert 'lol_wait_seconds_bucket{pe="1",le="+Inf"} 1' in text
+
+
+class TestPromcheck:
+    def test_rejects_missing_inf_bucket(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\nh_sum 0.5\nh_count 1\n'
+        )
+        assert any("+Inf" in e for e in validate_exposition(text))
+
+    def test_rejects_non_monotonic_buckets(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+            "h_sum 0.5\nh_count 3\n"
+        )
+        assert any("decrease" in e.lower() for e in validate_exposition(text))
+
+    def test_rejects_count_bucket_mismatch(self):
+        text = (
+            "# HELP h x\n# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\nh_sum 0.5\nh_count 2\n'
+        )
+        assert validate_exposition(text)
+
+    def test_rejects_duplicate_series(self):
+        text = "# HELP c x\n# TYPE c counter\nc_total 1\nc_total 2\n"
+        assert any("duplicate" in e.lower() for e in validate_exposition(text))
+
+    def test_rejects_counter_without_total_suffix(self):
+        text = "# HELP c x\n# TYPE c counter\nc 1\n"
+        assert validate_exposition(text)
+
+
+class TestTracer:
+    def test_span_nesting_same_thread(self):
+        tr = Tracer()
+        with tr.span("launch", "root") as root:
+            with tr.span("run", "pe0"):
+                pass
+        spans = {s["name"]: s for s in tr.spans()}
+        assert spans["pe0"]["parent"] == root
+        assert spans["root"]["parent"] is None
+
+    def test_drain_resets_and_absorb_renumbers(self):
+        worker = Tracer()
+        with worker.span("run", "child-root"):
+            worker.complete("comm", "get", 0.0, 0.1)
+        payload = worker.drain()
+        assert worker.spans() == []
+
+        parent = Tracer()
+        with parent.span("launch", "root"):
+            pass
+        parent.absorb(payload)
+        spans = parent.spans()
+        sids = [s["sid"] for s in spans]
+        assert len(set(sids)) == len(sids)  # no collisions after merge
+        absorbed = {s["name"]: s for s in spans}
+        assert (
+            absorbed["get"]["parent"] == absorbed["child-root"]["sid"]
+        )  # parent links remapped, not dangling
+
+    def test_drop_beyond_cap(self):
+        tr = Tracer(max_spans=2)
+        for i in range(4):
+            tr.complete("comm", f"s{i}", 0.0, 0.0)
+        assert len(tr.spans()) == 2
+        assert tr.dropped == 2
+
+    def test_chrome_export_shape(self):
+        tr = Tracer()
+        with tr.span("launch", "root", tid="main"):
+            tr.complete("run", "pe0", 1.0, 0.5, tid="PE-0")
+        doc = tr.export_chrome()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"root", "pe0"}
+        for e in complete:
+            assert isinstance(e["ts"], float) and "dur" in e
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(e["name"] == "thread_name" for e in meta)
+        json.dumps(doc)  # must be serialisable as-is
+
+
+class TestArming:
+    def test_disarmed_by_default(self):
+        assert obs.ACTIVE is None
+        assert obs.drain() is None
+
+    def test_arm_modes(self):
+        rt = obs.arm("metrics")
+        assert rt.metrics_on and not rt.trace_on
+        rt = obs.arm("1")
+        assert rt.metrics_on and rt.trace_on
+
+    def test_arm_exports_env_for_spawned_children(self, monkeypatch):
+        import os
+
+        obs.arm("trace,metrics")
+        assert os.environ[obs.ENV_VAR] == obs.ACTIVE.mode
+        obs.disarm()
+        assert obs.ENV_VAR not in os.environ
+
+    def test_ensure_armed_does_not_rearm(self):
+        first = obs.arm("trace")
+        assert obs.ensure_armed("metrics") is first  # warm worker rule
+
+    def test_drain_tags_gauges_with_pid(self):
+        import os
+
+        obs.arm("metrics")
+        obs.get_registry().gauge("lol_g").set(5)
+        payload = obs.drain()
+        (raw_key,) = payload["metrics"]["lol_g"]["series"]
+        assert ["pid", str(os.getpid())] in json.loads(raw_key)
+
+    def test_absorb_merges_metrics_even_when_disarmed(self):
+        worker = MetricsRegistry()
+        worker.counter("lol_n_total").inc(2)
+        obs.absorb({"pid": 1, "mode": "metrics", "metrics": worker.snapshot()})
+        assert obs.get_registry().counter("lol_n_total").total() == 2
+
+
+class TestVmProfiler:
+    def test_opcode_counts_and_report(self):
+        from repro.interp import compile_vm_cached
+        from repro.obs.vmprof import ProfilingMachine, format_report
+        from repro.shmem import run_spmd
+
+        source = (
+            "HAI 1.2\n"
+            "I HAS A i ITZ 0\n"
+            "IM IN YR l UPPIN YR i TIL BOTH SAEM i AN 10\n"
+            "VISIBLE i\n"
+            "IM OUTTA YR l\n"
+            "KTHXBYE\n"
+        )
+        program = compile_vm_cached(source, "<test>", False, False)
+        profiles = []
+
+        def pe_main(ctx):
+            machine = ProfilingMachine(ctx)
+            try:
+                machine.run(program)
+            finally:
+                profiles.append(machine.profile)
+
+        result = run_spmd(pe_main, 1, seed=1)
+        assert result.output.splitlines() == [str(i) for i in range(10)]
+        (profile,) = profiles
+        rows = profile.rows()
+        assert rows, "profiler saw no opcodes"
+        by_op = {r["op"]: r for r in rows}
+        assert by_op["HALT"]["count"] == 1
+        assert by_op["INC_JMP"]["count"] == 10  # one per loop iteration
+        total = sum(r["count"] for r in rows)
+        assert total == profile.summary()["ops_executed"]
+        report = format_report(profile)
+        assert "INC_JMP" in report and "total" in report
+
+    def test_profiled_output_matches_unprofiled(self):
+        from repro.interp import compile_vm_cached
+        from repro.obs.vmprof import ProfilingMachine
+        from repro.vm.machine import Machine
+        from repro.shmem import run_spmd
+
+        source = (
+            "HAI 1.2\n"
+            "I HAS A x ITZ 6\n"
+            "VISIBLE PRODUKT OF x AN 7\n"
+            "KTHXBYE\n"
+        )
+        program = compile_vm_cached(source, "<test>", False, False)
+        outs = {}
+        for label, cls in (("plain", Machine), ("prof", ProfilingMachine)):
+
+            def pe_main(ctx, cls=cls):
+                cls(ctx).run(program)
+
+            outs[label] = run_spmd(pe_main, 1, seed=1).output
+        assert outs["plain"] == outs["prof"] == "42\n"

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""CI gate: the disarmed observability plane must be (near) free.
+
+Two checks, both hard failures:
+
+1. **Structural** — the VM dispatch loop (``src/repro/vm/machine.py``)
+   must contain no instrumentation at all: the per-opcode profiler
+   wraps the code object from the *outside* (``repro.obs.vmprof``) and
+   the VM's counters flush once per run in ``VMProgram.run``.  Any
+   ``obs`` reference appearing in the dispatch loop is an immediate
+   failure, whatever it costs.
+
+2. **Analytic overhead bound** — every other instrumented site pays one
+   module-attribute load plus a ``None`` test when disarmed.  Measure
+   that per-site cost with ``timeit``, count how many sites one
+   ``heat1d`` VM run actually crosses (by running it once with metrics
+   armed and reading the registry back), and require::
+
+       crossings * per_site_cost  <  2% * disarmed wall time
+
+   This bounds the *instrumentation* overhead directly instead of
+   diffing two noisy end-to-end timings, so the gate is stable on
+   shared CI runners while still failing if someone puts a registry
+   lookup or a ``perf_counter`` call on the disarmed path.
+
+Run from the repo root: ``PYTHONPATH=src python tools/check_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import time
+import timeit
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.launcher import run_lolcode  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+#: Sites outside the comm plane that one run crosses a handful of
+#: times (launch, parse/compile spans, scheduler-free): a fixed pad so
+#: the bound stays conservative.
+FIXED_SITE_PAD = 32
+
+THRESHOLD = 0.02
+N_PES = 2
+REPS = 5
+
+
+def check_structural() -> None:
+    import repro.vm.machine as machine_mod
+
+    source = pathlib.Path(machine_mod.__file__).read_text()
+    if re.search(r"\b_?obs\b", source) or "ACTIVE" in source:
+        raise SystemExit(
+            "FAIL: src/repro/vm/machine.py references the obs plane — "
+            "the dispatch loop must stay instrumentation-free "
+            "(profile via repro.obs.vmprof, flush counters in "
+            "VMProgram.run)"
+        )
+    print("structural: vm/machine.py is instrumentation-free")
+
+
+def measure_site_cost() -> float:
+    """Per-site disarmed cost: one attribute load + None test."""
+    n = 1_000_000
+    total = timeit.timeit(
+        "rt = _obs.ACTIVE\n"
+        "if rt is not None:\n"
+        "    raise AssertionError",
+        setup="from repro import obs as _obs",
+        number=n,
+    )
+    return total / n
+
+
+def main() -> int:
+    check_structural()
+
+    workload = get_workload("heat1d")
+    params = workload.bind_params(None, smoke=True)
+    source = workload.source(params)
+
+    def once() -> None:
+        run_lolcode(
+            source, N_PES, executor="thread", engine="vm", seed=42
+        )
+
+    obs.disarm()
+    obs.reset_registry()
+    once()  # warm the parse/compile caches before timing
+
+    best = float("inf")
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        once()
+        best = min(best, time.perf_counter() - t0)
+
+    # Count the instrumented sites the run crosses: one registry event
+    # per comm op / barrier observation, plus the fixed pad.
+    obs.arm("metrics")
+    once()
+    reg = obs.get_registry()
+    comm = reg.get("lol_comm_ops_total")
+    barrier = reg.get("lol_barrier_wait_seconds")
+    crossings = FIXED_SITE_PAD
+    if comm is not None:
+        crossings += int(comm.total())
+    if barrier is not None:
+        merged = barrier.merged_summary()
+        if merged:
+            crossings += merged["count"]
+    obs.disarm()
+    obs.reset_registry()
+
+    per_site = measure_site_cost()
+    overhead = crossings * per_site
+    fraction = overhead / best
+
+    print(
+        f"disarmed heat1d vm (np={N_PES}, smoke): best of {REPS} = "
+        f"{best * 1e3:.2f} ms"
+    )
+    print(
+        f"sites crossed per run: {crossings} "
+        f"(comm + barriers + {FIXED_SITE_PAD} pad)"
+    )
+    print(f"per-site disarmed cost: {per_site * 1e9:.1f} ns")
+    print(
+        f"bounded instrumentation overhead: {overhead * 1e6:.1f} µs "
+        f"= {fraction * 100:.3f}% of the run (threshold "
+        f"{THRESHOLD * 100:.0f}%)"
+    )
+    if fraction >= THRESHOLD:
+        print("FAIL: disarmed instrumentation exceeds the overhead budget")
+        return 1
+    print("ok: disarmed instrumentation is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
