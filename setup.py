@@ -27,6 +27,7 @@ setup(
             "lolserve=repro.cli:lolserve_main",
             "loltrace=repro.cli:loltrace_main",
             "lolprof=repro.cli:lolprof_main",
+            "lolfuzz=repro.cli:lolfuzz_main",
         ]
     },
 )

@@ -382,6 +382,13 @@ def lolprof_main(argv: Optional[Sequence[str]] = None) -> int:
     return main(argv)
 
 
+def lolfuzz_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Coverage-guided differential fuzzer (alias for ``repro.fuzz.cli``)."""
+    from .fuzz.cli import lolfuzz_main as main
+
+    return main(argv)
+
+
 def lollint_main(argv: Optional[Sequence[str]] = None) -> int:
     """Static checker CLI over :mod:`repro.analysis`.
 

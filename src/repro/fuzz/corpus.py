@@ -1,0 +1,103 @@
+"""Corpus directory management: findings on disk, replayable forever.
+
+Each finding is a pair of files named by a content hash of the minimized
+source::
+
+    <kind>_<sha12>.lol    the minimized repro (formatter output)
+    <kind>_<sha12>.json   metadata sidecar
+
+The sidecar records everything needed to replay the divergence exactly:
+PE count, RNG seed, engine list, the divergence kind and per-engine
+outcome summaries, and the original (pre-minimization) source for
+archaeology.  ``tests/test_fuzz_corpus.py`` replays every ``.lol`` file
+under ``tests/golden/fuzz/`` through the same pipeline and asserts the
+engines now agree — fuzzer findings graduate into permanent regression
+tests once fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+
+@dataclass
+class CorpusEntry:
+    path: Path
+    source: str
+    meta: dict
+
+    @property
+    def n_pes(self) -> int:
+        return int(self.meta.get("n_pes", 4))
+
+    @property
+    def seed(self) -> int:
+        return int(self.meta.get("seed", 0))
+
+    @property
+    def engines(self) -> tuple[str, ...]:
+        return tuple(self.meta.get("engines", ()))
+
+
+def _stem_for(source: str, kind: str) -> str:
+    digest = hashlib.sha256(source.encode()).hexdigest()[:12]
+    return f"{kind}_{digest}"
+
+
+def save_finding(
+    corpus_dir: Path,
+    *,
+    source: str,
+    kind: str,
+    meta: dict,
+) -> Path:
+    """Write a finding; returns the ``.lol`` path.  Idempotent by content."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    stem = _stem_for(source, kind)
+    lol_path = corpus_dir / f"{stem}.lol"
+    lol_path.write_text(source)
+    (corpus_dir / f"{stem}.json").write_text(json.dumps(meta, indent=2, sort_keys=True) + "\n")
+    return lol_path
+
+
+def load_entry(lol_path: Path) -> CorpusEntry:
+    lol_path = Path(lol_path)
+    sidecar = lol_path.with_suffix(".json")
+    meta: dict = {}
+    if sidecar.exists():
+        meta = json.loads(sidecar.read_text())
+    return CorpusEntry(lol_path, lol_path.read_text(), meta)
+
+
+def iter_corpus(corpus_dir: Path) -> Iterator[CorpusEntry]:
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return
+    for lol_path in sorted(corpus_dir.glob("*.lol")):
+        yield load_entry(lol_path)
+
+
+def replay_entry(
+    entry: CorpusEntry,
+    *,
+    engines: Optional[tuple[str, ...]] = None,
+    executors: tuple[str, ...] = ("thread",),
+    barrier_timeout: float = 20.0,
+):
+    """Re-run one corpus entry through the differential pipeline."""
+    from .diff import DEFAULT_ENGINES, run_differential
+
+    return run_differential(
+        entry.source,
+        entry.n_pes,
+        engines=engines or entry.engines or DEFAULT_ENGINES,
+        executors=executors,
+        seed=entry.seed,
+        barrier_timeout=barrier_timeout,
+        filename=str(entry.path),
+    )

@@ -1,0 +1,188 @@
+"""Greedy delta-debugging of divergent programs.
+
+Classic ddmin adapted to tree-shaped programs: instead of bisecting a
+token string, the minimizer works on the AST, which keeps every
+intermediate candidate well-formed (it renders through the formatter and
+re-runs the differential pipeline as its oracle).  Three passes repeat to
+a fixpoint, bounded by a check budget:
+
+1. **Statement deletion** — for every block (top level, loop bodies, If
+   arms, TXT bodies, function bodies), try dropping chunks of
+   half-the-block, then quarters, down to single statements.
+2. **Structural unwrapping** — replace a Loop/If/Switch with the body of
+   one of its arms, hoisting the children into the parent block.
+3. **Expression simplification** — replace assignment/print/init
+   expressions with ``1``.
+
+Deleting a declaration whose uses survive just turns the candidate into
+a name-error program, which changes the divergence signature and is
+rejected by the oracle — so no use-def bookkeeping is needed; the oracle
+is the bookkeeping.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from ..lang import ast
+from .grammar import program_size
+
+Predicate = Callable[[ast.Program], bool]
+
+
+class _Budget:
+    def __init__(self, n: int) -> None:
+        self.left = n
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _blocks_of(program: ast.Program) -> list[list[ast.Stmt]]:
+    out = [program.body]
+    for stmt in ast.walk_statements(program.body):
+        out.extend(ast.child_statements(stmt))
+    return out
+
+
+def _try(candidate: ast.Program, predicate: Predicate, budget: _Budget) -> bool:
+    return budget.spend() and predicate(candidate)
+
+
+def _delete_pass(program: ast.Program, predicate: Predicate, budget: _Budget) -> tuple[ast.Program, bool]:
+    changed = False
+    progress = True
+    while progress and budget.left > 0:
+        progress = False
+        for block in _blocks_of(program):
+            n = len(block)
+            if n == 0:
+                continue
+            chunk = max(1, n // 2)
+            while chunk >= 1 and budget.left > 0:
+                start = 0
+                while start < len(block) and budget.left > 0:
+                    candidate = copy.deepcopy(program)
+                    # Re-locate the same block in the copy by position.
+                    cand_block = _matching_block(candidate, program, block)
+                    if cand_block is None:
+                        break
+                    del cand_block[start:start + chunk]
+                    if _try(candidate, predicate, budget):
+                        del block[start:start + chunk]
+                        changed = progress = True
+                        # stay at same start: the next chunk shifted in
+                    else:
+                        start += chunk
+                chunk //= 2
+    return program, changed
+
+
+def _matching_block(candidate: ast.Program, original: ast.Program,
+                    block: list[ast.Stmt]):
+    """Find the block in ``candidate`` at the same structural position as
+    ``block`` is in ``original`` (blocks are matched by enumeration order)."""
+    orig_blocks = _blocks_of(original)
+    cand_blocks = _blocks_of(candidate)
+    for i, b in enumerate(orig_blocks):
+        if b is block:
+            return cand_blocks[i] if i < len(cand_blocks) else None
+    return None
+
+
+def _unwrap_pass(program: ast.Program, predicate: Predicate, budget: _Budget) -> tuple[ast.Program, bool]:
+    changed = False
+    progress = True
+    while progress and budget.left > 0:
+        progress = False
+        for block in _blocks_of(program):
+            for i, stmt in enumerate(block):
+                arms: list[list[ast.Stmt]] = []
+                if isinstance(stmt, ast.Loop):
+                    arms = [stmt.body]
+                elif isinstance(stmt, ast.If):
+                    arms = [stmt.ya_rly, stmt.no_wai]
+                elif isinstance(stmt, ast.Switch):
+                    arms = [*[b for _, b in stmt.cases], stmt.default]
+                for arm in arms:
+                    hoisted = [s for s in arm if not isinstance(s, ast.Gtfo)]
+                    candidate = copy.deepcopy(program)
+                    cand_block = _matching_block(candidate, program, block)
+                    if cand_block is None:
+                        continue
+                    cand_block[i:i + 1] = copy.deepcopy(hoisted)
+                    if _try(candidate, predicate, budget):
+                        block[i:i + 1] = hoisted
+                        changed = progress = True
+                        break
+                if progress:
+                    break
+            if progress:
+                break
+    return program, changed
+
+
+def _simplify_pass(program: ast.Program, predicate: Predicate, budget: _Budget) -> tuple[ast.Program, bool]:
+    changed = False
+    one = ast.IntLit(1)
+    for stmt in list(ast.walk_statements(program.body)):
+        slots: list[tuple[object, str, int | None]] = []
+        if isinstance(stmt, ast.Assign) and not isinstance(stmt.value, ast.IntLit):
+            slots.append((stmt, "value", None))
+        elif isinstance(stmt, ast.ExprStmt) and not isinstance(stmt.expr, ast.IntLit):
+            slots.append((stmt, "expr", None))
+        elif isinstance(stmt, ast.Visible):
+            for j, arg in enumerate(stmt.args):
+                if not isinstance(arg, (ast.IntLit, ast.StringLit)):
+                    slots.append((stmt, "args", j))
+        elif isinstance(stmt, ast.VarDecl) and stmt.init is not None \
+                and not isinstance(stmt.init, (ast.IntLit, ast.StringLit, ast.FloatLit)):
+            slots.append((stmt, "init", None))
+        for holder, name, j in slots:
+            if budget.left <= 0:
+                return program, changed
+            old = getattr(holder, name) if j is None else getattr(holder, name)[j]
+            if j is None:
+                setattr(holder, name, copy.deepcopy(one))
+            else:
+                getattr(holder, name)[j] = copy.deepcopy(one)
+            if _try(program, predicate, budget):
+                changed = True
+            else:
+                if j is None:
+                    setattr(holder, name, old)
+                else:
+                    getattr(holder, name)[j] = old
+    return program, changed
+
+
+def minimize_program(
+    program: ast.Program,
+    predicate: Predicate,
+    *,
+    max_checks: int = 250,
+) -> ast.Program:
+    """Shrink ``program`` while ``predicate`` (still-divergent) holds.
+
+    ``predicate`` receives a candidate :class:`~repro.lang.ast.Program`
+    and must return ``True`` iff the bug still reproduces.  The input
+    program must satisfy the predicate; the result always does.
+    """
+    work = copy.deepcopy(program)
+    budget = _Budget(max_checks)
+    rounds = 0
+    while budget.left > 0 and rounds < 8:
+        rounds += 1
+        work, d1 = _delete_pass(work, predicate, budget)
+        work, d2 = _unwrap_pass(work, predicate, budget)
+        work, d3 = _simplify_pass(work, predicate, budget)
+        if not (d1 or d2 or d3):
+            break
+    return work
+
+
+__all__ = ["minimize_program", "program_size"]

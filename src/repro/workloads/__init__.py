@@ -21,12 +21,16 @@ ring          microbenchmark       nearest-neighbour ring
 transpose     linear algebra       all-to-all
 heat1d        PDE / stencil        nearest-neighbour halo (ring)
 heat2d        PDE / stencil        row-block halo exchange
+heat3d        PDE / stencil        z-slab plane halo (6-neighbour)
 nbody         particle dynamics    all-pairs block gets
 nbody_racy    particle dynamics    all-pairs block gets (racy)
 tree_reduce   collectives          binomial tree
 scan          collectives          distance-doubling gets
 histogram     data analytics       all-to-one under a symbol lock
 pi_montecarlo Monte-Carlo          all-to-one (one put per PE)
+bfs           graph analytics      data-dependent frontier gets
+sample_sort   sorting              all-to-all bucket gets
+spmv          sparse linear alg.   irregular row gets
 ============= ==================== ===================================
 """
 
@@ -43,10 +47,11 @@ from .base import (
 
 # Importing the kernel modules populates the registry.
 from . import comm  # noqa: F401  (ring, transpose)
+from . import irregular  # noqa: F401  (bfs, sample_sort, spmv)
 from . import montecarlo  # noqa: F401  (pi_montecarlo)
 from . import nbody  # noqa: F401  (nbody, nbody_racy)
 from . import reduction  # noqa: F401  (tree_reduce, scan, histogram)
-from . import stencil  # noqa: F401  (heat1d, heat2d)
+from . import stencil  # noqa: F401  (heat1d, heat2d, heat3d)
 
 from .nbody import nbody_source
 

@@ -1,0 +1,383 @@
+"""Irregular-communication workloads: BFS, sample sort, sparse SpMV.
+
+These are the ROADMAP item-5 kernels: communication whose *targets and
+volumes depend on the data*, which no stencil or collective exercises.
+All three are integer / exact-small-float kernels — outputs are
+bit-identical across every engine including the native C backend (no
+RNG, no negative modulus, no inexact floats).
+
+``bfs`` — level-synchronized breadth-first search over a synthetic
+directed graph on ``verts * n_pes`` vertices, block-distributed.  Edges
+come from a formula (``nb = (7u + 5e + 3) mod V``, degree
+``1 + (u mod maxdeg)``), so there is no adjacency build step, but the
+traversal is real: every round each PE probes every vertex's frontier
+flag with a data-dependent remote get and claims the out-neighbours it
+owns.  Distances use a ``level + 1`` encoding (0 = unreached).
+
+``sample_sort`` — bucket exchange by key range: every PE publishes its
+keys, then *fetches* (all-to-all-ish gets) every key whose bucket is
+itself and selection-sorts its bucket locally.  The positional checksum
+``sum((j+1) * recv[j])`` makes the final sorted order observable.
+
+``spmv`` — CSR-style sparse matrix-vector product ``y = A x`` with the
+dense vector ``x`` block-distributed.  Column indices come from a
+formula (``(13 gr + 7 t + 1) mod ncols``), so each row's gets land on
+irregular owners — the classic irregular-gather pattern of sparse
+kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..shmem.runtime_threads import SpmdResult
+from .base import Param, Workload, register
+
+# ---------------------------------------------------------------------------
+# bfs
+# ---------------------------------------------------------------------------
+
+BFS_LOL = """\
+HAI 1.2
+BTW level-synchronized BFS, dist = level+1 (0 = unreached), pull-style:
+BTW each round every PE probes every vertex's frontier flag (remote get)
+BTW and claims the out-neighbours it owns.  Fixed round count bounds it.
+WE HAS A dist ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {verts}
+WE HAS A cur ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {verts}
+WE HAS A nxt ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {verts}
+I HAS A gverts ITZ PRODUKT OF {verts} AN MAH FRENZ
+
+BTW root: global vertex 0 (owned by PE 0) at level 0
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  dist'Z 0 R 1
+  cur'Z 0 R 1
+OIC
+HUGZ
+
+IM IN YR rounds UPPIN YR rr TIL BOTH SAEM rr AN {rounds}
+  IM IN YR scan UPPIN YR gv TIL BOTH SAEM gv AN gverts
+    I HAS A ownr ITZ QUOSHUNT OF gv AN {verts}
+    I HAS A slot ITZ MOD OF gv AN {verts}
+    I HAS A flag ITZ 0
+    TXT MAH BFF ownr, flag R UR cur'Z slot
+    BOTH SAEM flag AN 1, O RLY?
+    YA RLY,
+      BTW gv is in the frontier: enumerate its out-edges
+      I HAS A deg ITZ SUM OF 1 AN MOD OF gv AN {maxdeg}
+      IM IN YR edges UPPIN YR e TIL BOTH SAEM e AN deg
+        I HAS A nb ITZ SUM OF PRODUKT OF gv AN 7 AN PRODUKT OF e AN 5
+        nb R MOD OF SUM OF nb AN 3 AN gverts
+        BTW claim nb if I own it and it is unreached
+        BOTH SAEM QUOSHUNT OF nb AN {verts} AN ME, O RLY?
+        YA RLY,
+          I HAS A lnb ITZ MOD OF nb AN {verts}
+          BOTH SAEM dist'Z lnb AN 0, O RLY?
+          YA RLY,
+            dist'Z lnb R SUM OF rr AN 2
+            nxt'Z lnb R 1
+          OIC
+        OIC
+      IM OUTTA YR edges
+    OIC
+  IM OUTTA YR scan
+  HUGZ
+  BTW swap frontiers (own slots only)
+  IM IN YR sw UPPIN YR u TIL BOTH SAEM u AN {verts}
+    cur'Z u R nxt'Z u
+    nxt'Z u R 0
+  IM OUTTA YR sw
+  HUGZ
+IM OUTTA YR rounds
+
+I HAS A cnt ITZ 0
+I HAS A chk ITZ 0
+IM IN YR tally UPPIN YR u TIL BOTH SAEM u AN {verts}
+  BIGGER dist'Z u AN 0, O RLY?
+  YA RLY,
+    cnt R SUM OF cnt AN 1
+  OIC
+  chk R SUM OF chk AN PRODUKT OF SUM OF u AN 1 AN dist'Z u
+IM OUTTA YR tally
+VISIBLE "PE " ME " REACHED " cnt " CHK " chk
+KTHXBYE
+"""
+
+
+def _bfs_source(params: Mapping[str, int]) -> str:
+    return BFS_LOL.format(
+        verts=params["verts"],
+        maxdeg=params["maxdeg"],
+        rounds=params["rounds"],
+    )
+
+
+def bfs_reference(
+    n_pes: int, verts: int, maxdeg: int, rounds: int
+) -> List[tuple[int, int]]:
+    """Per-PE (reached-count, checksum), mirroring the kernel exactly."""
+    gverts = verts * n_pes
+    dist = [0] * gverts
+    cur = [0] * gverts
+    dist[0] = 1
+    cur[0] = 1
+    for rr in range(rounds):
+        nxt = [0] * gverts
+        for gv in range(gverts):
+            if cur[gv] != 1:
+                continue
+            deg = 1 + gv % maxdeg
+            for e in range(deg):
+                nb = (gv * 7 + e * 5 + 3) % gverts
+                if dist[nb] == 0:
+                    dist[nb] = rr + 2
+                    nxt[nb] = 1
+        cur = nxt
+    out = []
+    for pe in range(n_pes):
+        block = dist[pe * verts:(pe + 1) * verts]
+        cnt = sum(1 for d in block if d > 0)
+        chk = sum((u + 1) * d for u, d in enumerate(block))
+        out.append((cnt, chk))
+    return out
+
+
+def _bfs_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    expected = bfs_reference(
+        n_pes, params["verts"], params["maxdeg"], params["rounds"]
+    )
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        cnt, chk = expected[pe]
+        want = f"PE {pe} REACHED {cnt} CHK {chk}\n"
+        if out != want:
+            problems.append(f"PE {pe}: got {out!r}, expected {want!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="bfs",
+        domain="graph analytics",
+        comm_pattern="data-dependent frontier gets",
+        description="level-synchronized BFS on a block-distributed "
+        "synthetic digraph; every round probes frontier flags with "
+        "data-dependent remote gets",
+        source_fn=_bfs_source,
+        check_fn=_bfs_check,
+        params=(
+            Param("verts", 8, 1, doc="vertices owned per PE"),
+            Param("maxdeg", 3, 1, doc="degree of vertex u is 1 + (u mod maxdeg)"),
+            Param("rounds", 6, 1, doc="BFS rounds (bounds the traversal)"),
+        ),
+        smoke={"verts": 4, "rounds": 4},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# sample_sort
+# ---------------------------------------------------------------------------
+
+SAMPLE_SORT_LOL = """\
+HAI 1.2
+BTW bucket exchange by key range: publish keys, fetch every key whose
+BTW bucket is me (all-to-all-ish gets), selection-sort the bucket.
+WE HAS A mykey ITZ SRSLY LOTZ A NUMBRS AN THAR IZ {keys}
+I HAS A recv ITZ LOTZ A NUMBRS AN THAR IZ PRODUKT OF {keys} AN MAH FRENZ
+I HAS A cnt ITZ 0
+
+IM IN YR fill UPPIN YR j TIL BOTH SAEM j AN {keys}
+  mykey'Z j R MOD OF SUM OF SUM OF PRODUKT OF ME AN 31 AN PRODUKT OF j AN 17 AN 5 AN {span}
+IM OUTTA YR fill
+HUGZ
+
+IM IN YR src UPPIN YR p TIL BOTH SAEM p AN MAH FRENZ
+  TXT MAH BFF p AN STUFF,
+    IM IN YR slot UPPIN YR j TIL BOTH SAEM j AN {keys}
+      I HAS A k ITZ UR mykey'Z j
+      BTW bucket(k) = k * n_pes / span
+      BOTH SAEM QUOSHUNT OF PRODUKT OF k AN MAH FRENZ AN {span} AN ME, O RLY?
+      YA RLY,
+        recv'Z cnt R k
+        cnt R SUM OF cnt AN 1
+      OIC
+    IM OUTTA YR slot
+  TTYL
+IM OUTTA YR src
+
+BTW selection sort recv[0..cnt)
+IM IN YR outer UPPIN YR a TIL BOTH SAEM a AN cnt
+  I HAS A best ITZ a
+  IM IN YR inner UPPIN YR b TIL BOTH SAEM b AN cnt
+    BIGGER b AN a, O RLY?
+    YA RLY,
+      SMALLR recv'Z b AN recv'Z best, O RLY?
+      YA RLY,
+        best R b
+      OIC
+    OIC
+  IM OUTTA YR inner
+  I HAS A tmp ITZ recv'Z a
+  recv'Z a R recv'Z best
+  recv'Z best R tmp
+IM OUTTA YR outer
+
+I HAS A chk ITZ 0
+IM IN YR sum UPPIN YR j TIL BOTH SAEM j AN cnt
+  chk R SUM OF chk AN PRODUKT OF SUM OF j AN 1 AN recv'Z j
+IM OUTTA YR sum
+VISIBLE "PE " ME " CNT " cnt " CHK " chk
+KTHXBYE
+"""
+
+
+def _sample_sort_source(params: Mapping[str, int]) -> str:
+    return SAMPLE_SORT_LOL.format(keys=params["keys"], span=params["span"])
+
+
+def sample_sort_reference(
+    n_pes: int, keys: int, span: int
+) -> List[tuple[int, int]]:
+    """Per-PE (bucket-size, positional checksum of the sorted bucket)."""
+    out = []
+    for pe in range(n_pes):
+        bucket: List[int] = []
+        for p in range(n_pes):
+            for j in range(keys):
+                k = (p * 31 + j * 17 + 5) % span
+                if (k * n_pes) // span == pe:
+                    bucket.append(k)
+        bucket.sort()
+        chk = sum((j + 1) * k for j, k in enumerate(bucket))
+        out.append((len(bucket), chk))
+    return out
+
+
+def _sample_sort_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    expected = sample_sort_reference(n_pes, params["keys"], params["span"])
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        cnt, chk = expected[pe]
+        want = f"PE {pe} CNT {cnt} CHK {chk}\n"
+        if out != want:
+            problems.append(f"PE {pe}: got {out!r}, expected {want!r}")
+    return problems
+
+
+register(
+    Workload(
+        name="sample_sort",
+        domain="sorting",
+        comm_pattern="all-to-all bucket gets",
+        description="bucket sort by key range: every PE fetches the keys "
+        "in its bucket from every other PE, then sorts locally",
+        source_fn=_sample_sort_source,
+        check_fn=_sample_sort_check,
+        params=(
+            Param("keys", 8, 1, doc="keys generated per PE"),
+            Param("span", 64, 2, doc="keys lie in [0, span)"),
+        ),
+        smoke={"keys": 4},
+    )
+)
+
+# ---------------------------------------------------------------------------
+# spmv
+# ---------------------------------------------------------------------------
+
+SPMV_LOL = """\
+HAI 1.2
+BTW CSR-style SpMV y = A x: x is block-distributed ({rows} floats per
+BTW PE); column indices come from a formula, so each row's gets land on
+BTW irregular owners.  All values are small integers in doubles: exact.
+WE HAS A x ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {rows}
+I HAS A ncols ITZ PRODUKT OF {rows} AN MAH FRENZ
+
+IM IN YR fill UPPIN YR i TIL BOTH SAEM i AN {rows}
+  I HAS A gi ITZ SUM OF PRODUKT OF ME AN {rows} AN i
+  x'Z i R SUM OF 1.0 AN MOD OF gi AN 7
+IM OUTTA YR fill
+HUGZ
+
+I HAS A chk ITZ A NUMBAR AN ITZ 0.0
+IM IN YR rowz UPPIN YR r TIL BOTH SAEM r AN {rows}
+  I HAS A gr ITZ SUM OF PRODUKT OF ME AN {rows} AN r
+  I HAS A y ITZ A NUMBAR AN ITZ 0.0
+  IM IN YR terms UPPIN YR t TIL BOTH SAEM t AN {nnzrow}
+    BTW column of term t of global row gr
+    I HAS A c ITZ MOD OF SUM OF SUM OF PRODUKT OF gr AN 13 AN PRODUKT OF t AN 7 AN 1 AN ncols
+    I HAS A val ITZ SUM OF 1 AN MOD OF SUM OF gr AN t AN 5
+    I HAS A ownr ITZ QUOSHUNT OF c AN {rows}
+    I HAS A xv ITZ A NUMBAR AN ITZ 0.0
+    TXT MAH BFF ownr, xv R UR x'Z MOD OF c AN {rows}
+    y R SUM OF y AN PRODUKT OF val AN xv
+  IM OUTTA YR terms
+  chk R SUM OF chk AN PRODUKT OF SUM OF r AN 1 AN y
+IM OUTTA YR rowz
+VISIBLE "PE " ME " CHK " chk
+KTHXBYE
+"""
+
+
+def _spmv_source(params: Mapping[str, int]) -> str:
+    return SPMV_LOL.format(rows=params["rows"], nnzrow=params["nnzrow"])
+
+
+def spmv_reference(n_pes: int, rows: int, nnzrow: int) -> List[float]:
+    """Per-PE weighted checksums, FP-order-faithful to the kernel."""
+    ncols = rows * n_pes
+    x = [1.0 + (gi % 7) for gi in range(ncols)]
+    out = []
+    for pe in range(n_pes):
+        chk = 0.0
+        for r in range(rows):
+            gr = pe * rows + r
+            y = 0.0
+            for t in range(nnzrow):
+                c = (gr * 13 + t * 7 + 1) % ncols
+                val = 1 + (gr + t) % 5
+                y = y + val * x[c]
+            chk = chk + (r + 1) * y
+        out.append(chk)
+    return out
+
+
+def _spmv_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    from .base import approx_problems
+
+    expected = spmv_reference(n_pes, params["rows"], params["nnzrow"])
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        prefix = f"PE {pe} CHK "
+        line = out.strip()
+        if not line.startswith(prefix):
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+            continue
+        problems += approx_problems(
+            f"PE {pe} spmv checksum", float(line[len(prefix):]), expected[pe]
+        )
+    return problems
+
+
+register(
+    Workload(
+        name="spmv",
+        domain="sparse linear algebra",
+        comm_pattern="irregular row gets",
+        description="CSR SpMV with a block-distributed dense vector; "
+        "formula-generated column indices make every row's gets irregular",
+        source_fn=_spmv_source,
+        check_fn=_spmv_check,
+        params=(
+            Param("rows", 6, 1, doc="matrix rows (and x elements) per PE"),
+            Param("nnzrow", 3, 1, doc="nonzeros per row"),
+        ),
+        smoke={"rows": 3, "nnzrow": 2},
+    )
+)

@@ -1,4 +1,4 @@
-"""Stencil workloads: 1-D and 2-D heat diffusion with halo exchange.
+"""Stencil workloads: 1-D, 2-D and 3-D heat diffusion with halo exchange.
 
 ``heat1d`` is the kernel behind ``examples/heat_diffusion.py`` (which
 imports it from here — single source of truth): each PE owns a block of
@@ -11,6 +11,12 @@ each PE owns ``rows`` interior rows of a (rows * n_pes) x cols grid
 (cold fixed boundary, maintained hot cell on PE 0) and exchanges whole
 boundary rows with its up/down neighbours through ``TXT MAH BFF ... AN
 STUFF`` block puts.
+
+``heat3d`` completes the family with a z-slab-decomposed 3-D cube and a
+7-point stencil: each PE owns ``nz`` interior z-planes and exchanges
+whole boundary *planes* — (nx+2)*(ny+2) cells per put — with its two
+slab neighbours every step (the 6-neighbour halo pattern of production
+3-D stencils, reduced to 2 bulk plane transfers by the decomposition).
 
 Both checkers re-run the simulation in plain Python with the exact same
 floating-point evaluation order, so the comparison only has to absorb
@@ -311,5 +317,189 @@ register(
             Param("steps", 10, 1, doc="explicit-Euler timesteps"),
         ),
         smoke={"rows": 2, "cols": 4, "steps": 4},
+    )
+)
+
+
+HEAT3D_LOL = """\
+HAI 1.2
+BTW 3-D heat on a z-slab-decomposed cube: each PE owns {nz} interior
+BTW z-planes of ({nxp2} x {nyp2}) floats (side halos fixed cold), and
+BTW exchanges whole boundary planes wif teh up/dn slab neighbours.
+WE HAS A grid ITZ SRSLY LOTZ A NUMBARS AN THAR IZ {cube}
+I HAS A unew ITZ LOTZ A NUMBARS AN THAR IZ {cube}
+I HAS A up ITZ A NUMBR AN ITZ DIFF OF ME AN 1
+I HAS A dn ITZ A NUMBR AN ITZ SUM OF ME AN 1
+
+BTW hot cell: global (1, 1, 1), owned by PE 0
+BOTH SAEM ME AN 0, O RLY?
+YA RLY,
+  grid'Z {hot} R 100.0
+OIC
+HUGZ
+
+IM IN YR step UPPIN YR t TIL BOTH SAEM t AN {steps}
+  BTW push my first interior plane into up's top halo plane
+  BIGGER ME AN 0, O RLY?
+  YA RLY,
+    TXT MAH BFF up AN STUFF,
+      IM IN YR hup UPPIN YR c TIL BOTH SAEM c AN {plane}
+        UR grid'Z SUM OF {top_halo} AN c R grid'Z SUM OF {plane} AN c
+      IM OUTTA YR hup
+    TTYL
+  OIC
+  BTW push my last interior plane into dn's bottom halo plane
+  SMALLR ME AN DIFF OF MAH FRENZ AN 1, O RLY?
+  YA RLY,
+    TXT MAH BFF dn AN STUFF,
+      IM IN YR hdn UPPIN YR c TIL BOTH SAEM c AN {plane}
+        UR grid'Z c R grid'Z SUM OF {last_plane} AN c
+      IM OUTTA YR hdn
+    TTYL
+  OIC
+  HUGZ
+
+  BTW 7-point stencil on the interior
+  IM IN YR zloop UPPIN YR zi TIL BOTH SAEM zi AN {nz}
+    IM IN YR xloop UPPIN YR xi TIL BOTH SAEM xi AN {nx}
+      IM IN YR yloop UPPIN YR yi TIL BOTH SAEM yi AN {ny}
+        I HAS A at ITZ PRODUKT OF SUM OF zi AN 1 AN {plane}
+        at R SUM OF at AN PRODUKT OF SUM OF xi AN 1 AN {nyp2}
+        at R SUM OF at AN SUM OF yi AN 1
+        I HAS A nbr ITZ SUM OF grid'Z DIFF OF at AN {plane} ...
+          AN grid'Z SUM OF at AN {plane}
+        nbr R SUM OF nbr AN SUM OF grid'Z DIFF OF at AN {nyp2} ...
+          AN grid'Z SUM OF at AN {nyp2}
+        nbr R SUM OF nbr AN SUM OF grid'Z DIFF OF at AN 1 AN grid'Z SUM OF at AN 1
+        I HAS A lap ITZ DIFF OF nbr AN PRODUKT OF 6.0 AN grid'Z at
+        unew'Z at R SUM OF grid'Z at AN PRODUKT OF 0.125 AN lap
+      IM OUTTA YR yloop
+    IM OUTTA YR xloop
+  IM OUTTA YR zloop
+
+  BTW maintained heat source
+  BOTH SAEM ME AN 0, O RLY?
+  YA RLY,
+    unew'Z {hot} R grid'Z {hot}
+  OIC
+
+  HUGZ
+  IM IN YR wz UPPIN YR zi TIL BOTH SAEM zi AN {nz}
+    IM IN YR wx UPPIN YR xi TIL BOTH SAEM xi AN {nx}
+      IM IN YR wy UPPIN YR yi TIL BOTH SAEM yi AN {ny}
+        I HAS A at ITZ PRODUKT OF SUM OF zi AN 1 AN {plane}
+        at R SUM OF at AN PRODUKT OF SUM OF xi AN 1 AN {nyp2}
+        at R SUM OF at AN SUM OF yi AN 1
+        grid'Z at R unew'Z at
+      IM OUTTA YR wy
+    IM OUTTA YR wx
+  IM OUTTA YR wz
+  HUGZ
+IM OUTTA YR step
+
+I HAS A total ITZ A NUMBAR AN ITZ 0.0
+IM IN YR sz UPPIN YR zi TIL BOTH SAEM zi AN {nz}
+  IM IN YR sx UPPIN YR xi TIL BOTH SAEM xi AN {nx}
+    IM IN YR sy UPPIN YR yi TIL BOTH SAEM yi AN {ny}
+      I HAS A at ITZ PRODUKT OF SUM OF zi AN 1 AN {plane}
+      at R SUM OF at AN PRODUKT OF SUM OF xi AN 1 AN {nyp2}
+      at R SUM OF at AN SUM OF yi AN 1
+      total R SUM OF total AN grid'Z at
+    IM OUTTA YR sy
+  IM OUTTA YR sx
+IM OUTTA YR sz
+VISIBLE "PE " ME " CUBE HEAT:: " total
+KTHXBYE
+"""
+
+
+def _heat3d_source(params: Mapping[str, int]) -> str:
+    nz, nx, ny = params["nz"], params["nx"], params["ny"]
+    nyp2 = ny + 2
+    plane = (nx + 2) * nyp2
+    return HEAT3D_LOL.format(
+        nz=nz,
+        nx=nx,
+        ny=ny,
+        nxp2=nx + 2,
+        nyp2=nyp2,
+        plane=plane,
+        cube=(nz + 2) * plane,
+        last_plane=nz * plane,
+        top_halo=(nz + 1) * plane,
+        hot=plane + nyp2 + 1,
+        steps=params["steps"],
+    )
+
+
+def heat3d_reference(
+    n_pes: int, nz: int, nx: int, ny: int, steps: int
+) -> List[float]:
+    """Per-PE cube heat totals, FP-order-faithful to the kernel."""
+    depth = nz * n_pes
+    g = [
+        [[0.0] * (ny + 2) for _ in range(nx + 2)] for _ in range(depth + 2)
+    ]
+    g[1][1][1] = 100.0
+    for _ in range(steps):
+        new = [[row[:] for row in plane] for plane in g]
+        for z in range(1, depth + 1):
+            for x in range(1, nx + 1):
+                for y in range(1, ny + 1):
+                    nbr = g[z - 1][x][y] + g[z + 1][x][y]
+                    nbr = nbr + (g[z][x - 1][y] + g[z][x + 1][y])
+                    nbr = nbr + (g[z][x][y - 1] + g[z][x][y + 1])
+                    lap = nbr - 6.0 * g[z][x][y]
+                    new[z][x][y] = g[z][x][y] + 0.125 * lap
+        new[1][1][1] = g[1][1][1]
+        g = new
+    totals = []
+    for pe in range(n_pes):
+        total = 0.0
+        for zi in range(nz):
+            z = pe * nz + zi + 1
+            for x in range(1, nx + 1):
+                for y in range(1, ny + 1):
+                    total = total + g[z][x][y]
+        totals.append(total)
+    return totals
+
+
+def _heat3d_check(
+    result: SpmdResult, n_pes: int, params: Mapping[str, int]
+) -> List[str]:
+    expected = heat3d_reference(
+        n_pes, params["nz"], params["nx"], params["ny"], params["steps"]
+    )
+    problems: List[str] = []
+    for pe, out in enumerate(result.outputs):
+        prefix = f"PE {pe} CUBE HEAT: "
+        line = out.strip()
+        if not line.startswith(prefix):
+            problems.append(f"PE {pe}: unexpected output {out!r}")
+            continue
+        problems += approx_problems(
+            f"PE {pe} cube heat", float(line[len(prefix):]), expected[pe]
+        )
+    return problems
+
+
+register(
+    Workload(
+        name="heat3d",
+        domain="PDE / stencil",
+        comm_pattern="z-slab plane halo exchange (6-neighbour)",
+        description="3-D heat diffusion, z-slab decomposition, whole "
+        "boundary planes exchanged via block puts each step (7-point "
+        "stencil)",
+        source_fn=_heat3d_source,
+        check_fn=_heat3d_check,
+        params=(
+            Param("nz", 3, 1, doc="interior z-planes per PE"),
+            Param("nx", 4, 1, doc="interior cells along x"),
+            Param("ny", 4, 1, doc="interior cells along y"),
+            Param("steps", 6, 1, doc="explicit-Euler timesteps"),
+        ),
+        smoke={"nz": 2, "nx": 3, "ny": 3, "steps": 3},
     )
 )

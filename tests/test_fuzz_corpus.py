@@ -1,0 +1,48 @@
+"""Replay the golden fuzz corpus: every entry must run divergence-free.
+
+``tests/golden/fuzz/`` holds minimized fuzzer findings that have
+graduated into permanent regression tests (plus a few clean generator
+seeds pinning cross-engine agreement on feature-rich programs).  Each
+``.lol`` file is replayed through the full differential pipeline with
+the engine list, PE count, and seed recorded in its ``.json`` sidecar —
+all engines must agree, bit for bit.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.fuzz.corpus import iter_corpus, load_entry, replay_entry
+
+pytestmark = pytest.mark.fuzz
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "golden" / "fuzz"
+ENTRIES = sorted(CORPUS_DIR.glob("*.lol"))
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 4
+
+
+def test_every_entry_has_a_sidecar():
+    for lol in ENTRIES:
+        sidecar = lol.with_suffix(".json")
+        assert sidecar.exists(), f"{lol.name} is missing its metadata sidecar"
+        meta = load_entry(lol).meta
+        assert meta.get("engines"), f"{lol.name} sidecar lacks an engine list"
+        assert "note" in meta or "detail" in meta
+
+
+@pytest.mark.parametrize("lol_path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(lol_path):
+    entry = load_entry(lol_path)
+    result = replay_entry(entry)
+    assert result.status == "ok", (
+        f"{lol_path.name}: {result.status} ({result.reason}); "
+        + "; ".join(d.describe() for d in result.divergences)
+    )
+    assert result.divergences == []
+
+
+def test_iter_corpus_sees_every_entry():
+    assert [e.path for e in iter_corpus(CORPUS_DIR)] == ENTRIES

@@ -197,6 +197,51 @@ class TestFormatterRoundtripProperty:
         assert reparsed.body == prog.body
 
 
+class TestFuzzerGrammarProperties:
+    """The same round-trips, but over whole fuzzer-generated SPMD
+    programs (locks, TXT blocks, functions, symbol declarations) rather
+    than hypothesis-built expression trees."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_generated_program_roundtrip(self, seed):
+        from repro.fuzz import generate_program
+
+        program = generate_program(seed)
+        source = format_program(program)
+        assert parse(source) == program
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_formatter_fixpoint_on_generated(self, seed):
+        from repro.fuzz import generate_program
+
+        source = format_program(generate_program(seed))
+        assert format_program(parse(source)) == source
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_vm_disassembly_roundtrip(self, seed):
+        # There is no textual assembler, so the bytecode round-trip
+        # property is: compilation is deterministic (two compiles of the
+        # same AST disassemble identically) and the disassembly is total
+        # (one line per instruction, every opcode named).
+        from repro.fuzz import generate_program
+        from repro.vm.compile import compile_program_vm
+        from repro.vm.dis import disassemble
+        from repro.vm.isa import OPNAMES
+
+        program = generate_program(seed)
+        vmp = compile_program_vm(program)
+        text = disassemble(vmp)
+        assert text == disassemble(compile_program_vm(program))
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        # every main-code instruction appears, rendered with its mnemonic
+        assert len(lines) >= len(vmp.co.code)
+        for ins in vmp.co.code:
+            assert any(OPNAMES[ins[0]] in ln for ln in lines), OPNAMES[ins[0]]
+
+
 class TestMeshProperties:
     @given(
         st.integers(min_value=1, max_value=8),

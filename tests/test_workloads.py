@@ -15,7 +15,16 @@ from repro.workloads import (
     register,
     workload_names,
 )
-from repro.workloads.stencil import heat1d_reference, heat2d_reference
+from repro.workloads.irregular import (
+    bfs_reference,
+    sample_sort_reference,
+    spmv_reference,
+)
+from repro.workloads.stencil import (
+    heat1d_reference,
+    heat2d_reference,
+    heat3d_reference,
+)
 
 pytestmark = pytest.mark.workload
 
@@ -24,12 +33,16 @@ EXPECTED_NAMES = {
     "transpose",
     "heat1d",
     "heat2d",
+    "heat3d",
     "nbody",
     "nbody_racy",
     "tree_reduce",
     "scan",
     "histogram",
     "pi_montecarlo",
+    "bfs",
+    "sample_sort",
+    "spmv",
 }
 
 
@@ -147,6 +160,70 @@ def test_heat1d_reference_conserves_at_zero_steps():
 def test_heat2d_reference_source_dominates():
     totals = heat2d_reference(2, 2, 4, 5)
     assert totals[0] > totals[1] >= 0.0
+
+
+def test_heat3d_reference_source_dominates():
+    totals = heat3d_reference(2, 2, 3, 3, 4)
+    assert totals[0] > totals[1] >= 0.0
+    # zero steps: all heat sits in the single hot cell on PE 0
+    assert heat3d_reference(2, 2, 3, 3, 0) == [100.0, 0.0]
+
+
+def test_bfs_reference_reaches_root_first():
+    out = bfs_reference(2, 4, 3, 6)
+    # vertex 0 (PE 0, slot 0) is the root at dist 1, so PE 0's checksum
+    # includes the (u+1)*dist = 1*1 term and its count is >= 1
+    assert out[0][0] >= 1
+    total = sum(cnt for cnt, _ in out)
+    assert 1 <= total <= 8
+    # more rounds can only reach more vertices
+    assert sum(c for c, _ in bfs_reference(2, 4, 3, 1)) <= total
+
+
+def test_sample_sort_reference_conserves_keys():
+    n_pes, keys, span = 4, 8, 64
+    out = sample_sort_reference(n_pes, keys, span)
+    assert sum(cnt for cnt, _ in out) == n_pes * keys
+
+
+def test_spmv_reference_is_positive():
+    for chk in spmv_reference(4, 3, 2):
+        assert chk > 0.0
+
+
+class _FakeResult:
+    def __init__(self, outputs):
+        self.outputs = outputs
+
+
+@pytest.mark.parametrize("name", ["bfs", "sample_sort", "spmv", "heat3d"])
+def test_new_workload_checkers_catch_corruption(name):
+    # The checkers must accept the reference answer and reject a
+    # corrupted one — otherwise the differential rows prove nothing.
+    w = get_workload(name)
+    params = w.bind_params(smoke=True)
+    n_pes = 2
+    if name == "bfs":
+        rows = bfs_reference(n_pes, params["verts"], params["maxdeg"], params["rounds"])
+        good = [f"PE {pe} REACHED {c} CHK {k}\n" for pe, (c, k) in enumerate(rows)]
+    elif name == "sample_sort":
+        rows = sample_sort_reference(n_pes, params["keys"], params["span"])
+        good = [f"PE {pe} CNT {c} CHK {k}\n" for pe, (c, k) in enumerate(rows)]
+    elif name == "spmv":
+        vals = spmv_reference(n_pes, params["rows"], params["nnzrow"])
+        good = [f"PE {pe} CHK {v}\n" for pe, v in enumerate(vals)]
+    else:
+        vals = heat3d_reference(
+            n_pes, params["nz"], params["nx"], params["ny"], params["steps"]
+        )
+        good = [f"PE {pe} CUBE HEAT: {v}\n" for pe, v in enumerate(vals)]
+    assert w.check(_FakeResult(good), n_pes, params) == []
+    bad = list(good)
+    bad[1] = bad[1].replace(" ", "  ", 1) if name in ("spmv", "heat3d") else (
+        bad[1][:-2] + "9\n" if not bad[1].rstrip().endswith("9") else bad[1][:-2] + "8\n"
+    )
+    problems = w.check(_FakeResult(bad), n_pes, params)
+    assert problems and "PE 1" in problems[0]
 
 
 # ---------------------------------------------------------------------------
